@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 16 {
+		t.Fatalf("parsed = %v", got)
+	}
+	for _, bad := range []string{"", "x", "0", "-3", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Fatalf("%q must fail", bad)
+		}
+	}
+}
+
+func TestParseSystems(t *testing.T) {
+	got, err := parseSystems("versioning, lock-bounding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != bench.Versioning || got[1] != bench.LockBounding {
+		t.Fatalf("parsed = %v", got)
+	}
+	if _, err := parseSystems("nonsense"); err == nil {
+		t.Fatal("unknown system must fail")
+	}
+	// Every known system must round-trip through its name.
+	for _, k := range append(bench.AllAtomicSystems(), bench.PosixNoAtomic) {
+		got, err := parseSystems(k.String())
+		if err != nil || len(got) != 1 || got[0] != k {
+			t.Fatalf("round trip of %v failed: %v %v", k, got, err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Command benchall regenerates every experiment in EXPERIMENTS.md:
+// the full E1–E6 matrix of the paper's evaluation (scalability of
+// atomic overlapped non-contiguous writes, MPI-tile-IO, region-count
+// sweep, overlap sweep, striping sweep, and the headline throughput
+// ratio). Expect a full run to take a few minutes; -quick shrinks the
+// matrix for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller matrix for a fast smoke run")
+	headline := flag.Bool("headline", false, "run only E6 (headline ratio)")
+	flag.Parse()
+
+	start := time.Now()
+	if !*headline {
+		runE1(*quick)
+		runE2(*quick)
+		runE3(*quick)
+		runE4(*quick)
+		runE5(*quick)
+		runE7(*quick)
+	}
+	runE6(*quick)
+	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
+}
+
+func env() cluster.Env { return cluster.Metered() }
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// E1: aggregated throughput vs number of clients.
+func runE1(quick bool) {
+	clients := []int{1, 2, 4, 8, 16, 32, 64}
+	systems := []bench.SystemKind{bench.Versioning, bench.LockBounding, bench.LockWholeFile, bench.LockConflictDetect}
+	iters := 2
+	if quick {
+		clients = []int{1, 4, 16}
+		iters = 1
+	}
+	tbl := bench.NewTable("E1: atomic overlapped non-contiguous writes, throughput vs clients (32 regions x 64 KiB, overlap 0.75)",
+		bench.StandardHeader()...)
+	for _, n := range clients {
+		spec := workload.OverlapSpec{Clients: n, Regions: 32, RegionSize: 64 << 10, OverlapFraction: 0.75}
+		for _, kind := range systems {
+			res, err := bench.RunOverlap(kind, env(), spec, bench.OverlapOptions{Iterations: iters, Warmup: 1})
+			if err != nil {
+				die(err)
+			}
+			tbl.AddResult(res)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E2: MPI-tile-IO, independent and collective.
+func runE2(quick bool) {
+	grids := []int{2, 4, 6, 8}
+	if quick {
+		grids = []int{2, 4}
+	}
+	for _, collective := range []bool{false, true} {
+		mode := "independent"
+		if collective {
+			mode = "collective"
+		}
+		tbl := bench.NewTable(
+			fmt.Sprintf("E2: MPI-tile-IO (%s I/O, 64x64 tiles of 32B elements, overlap 16)", mode),
+			bench.StandardHeader()...)
+		for _, g := range grids {
+			spec := workload.TileSpec{
+				TilesX: g, TilesY: g,
+				TileX: 64, TileY: 64,
+				ElementSize: 32,
+				OverlapX:    16, OverlapY: 16,
+			}
+			for _, kind := range []bench.SystemKind{bench.Versioning, bench.LockBounding} {
+				res, err := bench.RunTile(kind, env(), spec, bench.TileOptions{Collective: collective, Iterations: 2, Warmup: 1})
+				if err != nil {
+					die(err)
+				}
+				tbl.AddResult(res)
+			}
+		}
+		tbl.Render(os.Stdout)
+		fmt.Println()
+	}
+}
+
+// E3: sensitivity to the number of non-contiguous regions per call.
+func runE3(quick bool) {
+	regions := []int{1, 4, 16, 64, 256}
+	if quick {
+		regions = []int{4, 64}
+	}
+	tbl := bench.NewTable("E3: throughput vs regions per call (16 clients, 16 KiB regions, overlap 0.75)",
+		append([]string{"regions"}, bench.StandardHeader()...)...)
+	for _, r := range regions {
+		spec := workload.OverlapSpec{Clients: 16, Regions: r, RegionSize: 16 << 10, OverlapFraction: 0.75}
+		for _, kind := range []bench.SystemKind{bench.Versioning, bench.LockBounding, bench.LockList, bench.LockDataSieve} {
+			res, err := bench.RunOverlap(kind, env(), spec, bench.OverlapOptions{Iterations: 2, Warmup: 1})
+			if err != nil {
+				die(err)
+			}
+			tbl.AddRow(append([]string{fmt.Sprintf("%d", r)}, resultCells(res)...)...)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E4: overlap-fraction sweep (where conflict detection wins and loses).
+func runE4(quick bool) {
+	fractions := []float64{0, 0.25, 0.5, 0.75, 1}
+	if quick {
+		fractions = []float64{0, 1}
+	}
+	tbl := bench.NewTable("E4: throughput vs overlap fraction (16 clients, 32 regions x 64 KiB)",
+		append([]string{"overlap"}, bench.StandardHeader()...)...)
+	for _, f := range fractions {
+		spec := workload.OverlapSpec{Clients: 16, Regions: 32, RegionSize: 64 << 10, OverlapFraction: f}
+		for _, kind := range []bench.SystemKind{bench.Versioning, bench.LockBounding, bench.LockConflictDetect} {
+			res, err := bench.RunOverlap(kind, env(), spec, bench.OverlapOptions{Iterations: 2, Warmup: 1})
+			if err != nil {
+				die(err)
+			}
+			tbl.AddRow(append([]string{fmt.Sprintf("%.2f", f)}, resultCells(res)...)...)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E5: striping sweep (providers/OSTs).
+func runE5(quick bool) {
+	providers := []int{1, 2, 4, 8, 16}
+	if quick {
+		providers = []int{2, 8}
+	}
+	tbl := bench.NewTable("E5: throughput vs striping width (16 clients, 32 regions x 64 KiB, overlap 0.75)",
+		append([]string{"providers"}, bench.StandardHeader()...)...)
+	for _, p := range providers {
+		e := env()
+		e.Providers = p
+		spec := workload.OverlapSpec{Clients: 16, Regions: 32, RegionSize: 64 << 10, OverlapFraction: 0.75}
+		for _, kind := range []bench.SystemKind{bench.Versioning, bench.LockBounding} {
+			res, err := bench.RunOverlap(kind, e, spec, bench.OverlapOptions{Iterations: 2, Warmup: 1})
+			if err != nil {
+				die(err)
+			}
+			tbl.AddRow(append([]string{fmt.Sprintf("%d", p)}, resultCells(res)...)...)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E6: the headline claim — aggregated-throughput ratio range of
+// versioning over the Lustre-style locking baseline.
+func runE6(quick bool) {
+	clients := []int{8, 16, 32, 64}
+	if quick {
+		clients = []int{8, 16}
+	}
+	tbl := bench.NewTable("E6: headline ratio versioning / lock-bounding (paper claims 3.5x-10x)",
+		"clients", "versioning MB/s", "lock-bounding MB/s", "ratio")
+	lo, hi := 0.0, 0.0
+	for _, n := range clients {
+		spec := workload.OverlapSpec{Clients: n, Regions: 32, RegionSize: 64 << 10, OverlapFraction: 0.75}
+		v, err := bench.RunOverlap(bench.Versioning, env(), spec, bench.OverlapOptions{Iterations: 2, Warmup: 1})
+		if err != nil {
+			die(err)
+		}
+		l, err := bench.RunOverlap(bench.LockBounding, env(), spec, bench.OverlapOptions{Iterations: 2, Warmup: 1})
+		if err != nil {
+			die(err)
+		}
+		ratio := bench.Ratio(v.MBps, l.MBps)
+		if lo == 0 || ratio < lo {
+			lo = ratio
+		}
+		if ratio > hi {
+			hi = ratio
+		}
+		tbl.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.1f", v.MBps), fmt.Sprintf("%.1f", l.MBps), fmt.Sprintf("%.2fx", ratio))
+	}
+	tbl.Render(os.Stdout)
+	fmt.Printf("observed ratio band: %.2fx - %.2fx (paper: 3.5x - 10x)\n", lo, hi)
+}
+
+// E7: producer/consumer concurrency — the paper's future-work claim
+// that versioning avoids synchronization between simulation output and
+// visualization input.
+func runE7(quick bool) {
+	readers := []int{1, 4, 8}
+	if quick {
+		readers = []int{4}
+	}
+	tbl := bench.NewTable("E7: concurrent producers+consumers (8 writers x 4 calls; readers scan the full file under atomicity)",
+		"system", "readers", "write MB/s", "read MB/s", "mean read lat", "max read lat")
+	for _, nr := range readers {
+		spec := bench.MixedSpec{
+			Writers: 8, Readers: nr,
+			WriteCalls: 4, ReadCalls: 4,
+			Pattern: workload.OverlapSpec{
+				Regions: 32, RegionSize: 64 << 10, OverlapFraction: 0.75,
+			},
+		}
+		for _, kind := range []bench.SystemKind{bench.Versioning, bench.LockBounding} {
+			res, err := bench.RunMixed(kind, env(), spec)
+			if err != nil {
+				die(err)
+			}
+			tbl.AddRow(
+				res.System.String(),
+				fmt.Sprintf("%d", nr),
+				fmt.Sprintf("%.1f", res.WriteMBps),
+				fmt.Sprintf("%.1f", res.ReadMBps),
+				fmt.Sprintf("%.1fms", float64(res.MeanReadLatency.Microseconds())/1000),
+				fmt.Sprintf("%.1fms", float64(res.MaxReadLatency.Microseconds())/1000),
+			)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+func resultCells(r bench.Result) []string {
+	return []string{
+		r.System.String(),
+		fmt.Sprintf("%d", r.Clients),
+		fmt.Sprintf("%.1f", r.MBps),
+		fmt.Sprintf("%.3fs", r.Elapsed.Seconds()),
+		fmt.Sprintf("%.3fs", r.LockWait.Seconds()),
+	}
+}

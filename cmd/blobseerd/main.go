@@ -1,0 +1,72 @@
+// Command blobseerd runs one storage-service node over TCP. A node can
+// host any subset of the three roles of the versioning service:
+//
+//	blobseerd -listen :4000 -roles vm,meta,data
+//	blobseerd -listen :4001 -roles data -providers 16
+//
+// Clients (cmd/bsctl, examples/distributed) connect with the endpoints
+// of the three roles, which may be the same node or different nodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/iosim"
+	"repro/internal/metadata"
+	"repro/internal/provider"
+	"repro/internal/remote"
+	"repro/internal/vmanager"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:4000", "listen address")
+		rolesFlag = flag.String("roles", "vm,meta,data", "roles to host: vm, meta, data")
+		providers = flag.Int("providers", 8, "data providers behind this node (data role)")
+		shards    = flag.Int("shards", 8, "metadata shards (meta role)")
+		simulate  = flag.Bool("simulate", false, "charge the synthetic cost models")
+	)
+	flag.Parse()
+
+	dataModel, metaModel, ctrlModel := iosim.CostModel{}, iosim.CostModel{}, iosim.CostModel{}
+	if *simulate {
+		dataModel = iosim.DefaultNetwork()
+		metaModel = iosim.DefaultMetadata()
+		ctrlModel = iosim.DefaultMetadata()
+	}
+
+	var roles remote.Roles
+	for _, role := range strings.Split(*rolesFlag, ",") {
+		switch strings.TrimSpace(role) {
+		case "vm":
+			roles.VM = vmanager.New(ctrlModel)
+		case "meta":
+			roles.Meta = metadata.NewStore(*shards, metaModel)
+		case "data":
+			pool, _ := provider.NewPool(*providers, dataModel)
+			roles.Data = provider.NewRouter(pool)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown role %q (want vm, meta, data)\n", role)
+			os.Exit(2)
+		}
+	}
+
+	node, err := remote.Listen(*listen, roles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer node.Close()
+	fmt.Printf("blobseerd serving %s on %s\n", *rolesFlag, node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

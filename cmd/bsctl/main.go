@@ -1,0 +1,166 @@
+// Command bsctl is the client CLI for a running storage service
+// (cmd/blobseerd): create blobs, write and read (possibly
+// non-contiguous) byte ranges, and inspect versions.
+//
+//	bsctl -vm :4000 -meta :4000 -data :4000 create -blob 1 -capacity 1073741824 -page 65536
+//	bsctl write -blob 1 -extents 0:5,100:5 -data "helloworld"
+//	bsctl read -blob 1 -extents 0:5,100:5 [-version 3]
+//	bsctl versions -blob 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/blob"
+	"repro/internal/extent"
+	"repro/internal/remote"
+	"repro/internal/segtree"
+)
+
+func main() {
+	var (
+		vmAddr   = flag.String("vm", "127.0.0.1:4000", "version manager address")
+		metaAddr = flag.String("meta", "127.0.0.1:4000", "metadata address")
+		dataAddr = flag.String("data", "127.0.0.1:4000", "data provider address")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	blobID := sub.Uint64("blob", 1, "blob id")
+	capacity := sub.Int64("capacity", 1<<30, "blob capacity (create)")
+	page := sub.Int64("page", 64<<10, "page/chunk size (create)")
+	extents := sub.String("extents", "", "comma-separated off:len pairs")
+	data := sub.String("data", "", "payload for write (repeated/truncated to fit)")
+	version := sub.Uint64("version", 0, "snapshot version for read (0 = latest)")
+	if err := sub.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	cli, err := remote.Dial(remote.Endpoints{VM: *vmAddr, Meta: *metaAddr, Data: *dataAddr})
+	if err != nil {
+		fail(err)
+	}
+	defer cli.Close()
+	svc := cli.Services()
+
+	switch cmd {
+	case "create":
+		_, err := blob.Create(svc, *blobID, segtree.Geometry{Capacity: *capacity, Page: *page})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("created blob %d (capacity %d, page %d)\n", *blobID, *capacity, *page)
+
+	case "write":
+		b, err := blob.Open(svc, *blobID)
+		if err != nil {
+			fail(err)
+		}
+		l, err := parseExtents(*extents)
+		if err != nil {
+			fail(err)
+		}
+		buf := fill([]byte(*data), l.TotalLength())
+		vec, err := extent.NewVec(l, buf)
+		if err != nil {
+			fail(err)
+		}
+		v, err := b.WriteList(vec, blob.WriteOptions{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d bytes across %d extents -> snapshot v%d\n", len(buf), len(l), v)
+
+	case "read":
+		b, err := blob.Open(svc, *blobID)
+		if err != nil {
+			fail(err)
+		}
+		l, err := parseExtents(*extents)
+		if err != nil {
+			fail(err)
+		}
+		v := *version
+		if v == 0 {
+			info, err := b.Latest()
+			if err != nil {
+				fail(err)
+			}
+			v = info.Version
+		}
+		out, err := b.ReadList(v, l)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("v%d: %q\n", v, out)
+
+	case "versions":
+		b, err := blob.Open(svc, *blobID)
+		if err != nil {
+			fail(err)
+		}
+		vs, err := b.Versions()
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range vs {
+			sz, err := b.Size(v)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("v%-4d size %d\n", v, sz)
+		}
+
+	default:
+		usage()
+	}
+}
+
+func parseExtents(s string) (extent.List, error) {
+	if s == "" {
+		return nil, fmt.Errorf("bsctl: -extents required (off:len,off:len,...)")
+	}
+	var l extent.List
+	for _, pair := range strings.Split(s, ",") {
+		parts := strings.SplitN(pair, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bsctl: bad extent %q", pair)
+		}
+		off, err1 := strconv.ParseInt(parts[0], 10, 64)
+		length, err2 := strconv.ParseInt(parts[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bsctl: bad extent %q", pair)
+		}
+		l = append(l, extent.Extent{Offset: off, Length: length})
+	}
+	return l, nil
+}
+
+// fill repeats src until the buffer reaches n bytes (zeros if empty).
+func fill(src []byte, n int64) []byte {
+	out := make([]byte, n)
+	if len(src) == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = src[i%len(src)]
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/extent"
+)
+
+func TestParseExtents(t *testing.T) {
+	l, err := parseExtents("0:5,100:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := extent.List{{Offset: 0, Length: 5}, {Offset: 100, Length: 5}}
+	if !l.Equal(want) {
+		t.Fatalf("parsed = %v", l)
+	}
+}
+
+func TestParseExtentsErrors(t *testing.T) {
+	for _, bad := range []string{"", "5", "a:b", "1:2:3extra,", "1:", ":2"} {
+		if _, err := parseExtents(bad); err == nil {
+			t.Fatalf("%q must fail", bad)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	out := fill([]byte("ab"), 5)
+	if string(out) != "ababa" {
+		t.Fatalf("fill = %q", out)
+	}
+	zero := fill(nil, 3)
+	if len(zero) != 3 || zero[0] != 0 {
+		t.Fatalf("empty fill = %v", zero)
+	}
+}

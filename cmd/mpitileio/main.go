@@ -1,0 +1,113 @@
+// Command mpitileio is a port of the MPI-tile-IO benchmark used in the
+// paper's second experiment: a grid of MPI processes each writes one
+// tile of a dense 2D array into a shared file, with tiles overlapping
+// by a configurable number of elements, under MPI atomic mode. Flags
+// mirror the original benchmark's parameters.
+//
+// Example:
+//
+//	mpitileio -nr_tiles_x 4 -nr_tiles_y 4 -sz_tile_x 64 -sz_tile_y 64 \
+//	          -sz_element 32 -overlap_x 16 -overlap_y 16 -collective
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		tilesX    = flag.Int("nr_tiles_x", 4, "tiles in X")
+		tilesY    = flag.Int("nr_tiles_y", 4, "tiles in Y")
+		tileX     = flag.Int("sz_tile_x", 64, "tile width in elements")
+		tileY     = flag.Int("sz_tile_y", 64, "tile height in elements")
+		elemSize  = flag.Int64("sz_element", 32, "element size in bytes")
+		overlapX  = flag.Int("overlap_x", 16, "element overlap in X")
+		overlapY  = flag.Int("overlap_y", 16, "element overlap in Y")
+		iters     = flag.Int("iters", 2, "array dumps per run")
+		collect   = flag.Bool("collective", false, "use collective (two-phase) I/O")
+		nonAtomic = flag.Bool("noatomic", false, "disable MPI atomic mode")
+		providers = flag.Int("providers", 8, "data providers / OSTs")
+		chunk     = flag.Int64("chunk", 64<<10, "chunk / stripe size")
+		fast      = flag.Bool("fast", false, "disable simulated cost models")
+		system    = flag.String("system", "versioning,lock-bounding", "comma-separated systems")
+	)
+	flag.Parse()
+
+	spec := workload.TileSpec{
+		TilesX: *tilesX, TilesY: *tilesY,
+		TileX: *tileX, TileY: *tileY,
+		ElementSize: *elemSize,
+		OverlapX:    *overlapX, OverlapY: *overlapY,
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	env := cluster.Metered()
+	if *fast {
+		env = cluster.Default()
+	}
+	env.Providers = *providers
+	env.ChunkSize = *chunk
+
+	w, h := spec.ArrayDims()
+	mode := "independent"
+	if *collect {
+		mode = "collective"
+	}
+	tbl := bench.NewTable(
+		fmt.Sprintf("E2 MPI-tile-IO %dx%d tiles (%dx%d elem x %dB, overlap %d,%d; array %dx%d; %s, atomic=%v)",
+			*tilesX, *tilesY, *tileX, *tileY, *elemSize, *overlapX, *overlapY, w, h, mode, !*nonAtomic),
+		bench.StandardHeader()...)
+	for _, name := range splitList(*system) {
+		kind, ok := systemByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown system %q\n", name)
+			os.Exit(2)
+		}
+		res, err := bench.RunTile(kind, env, spec, bench.TileOptions{
+			Collective: *collect,
+			Iterations: *iters,
+			NonAtomic:  *nonAtomic,
+			Warmup:     1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tbl.AddResult(res)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func systemByName(name string) (bench.SystemKind, bool) {
+	for _, k := range append(bench.AllAtomicSystems(), bench.PosixNoAtomic) {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestSplitList(t *testing.T) {
+	got := splitList("a,b,,c")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if got := splitList(""); len(got) != 0 {
+		t.Fatalf("splitList(empty) = %v", got)
+	}
+}
+
+func TestSystemByName(t *testing.T) {
+	k, ok := systemByName("versioning")
+	if !ok || k != bench.Versioning {
+		t.Fatalf("versioning lookup = %v %v", k, ok)
+	}
+	if _, ok := systemByName("bogus"); ok {
+		t.Fatal("bogus must not resolve")
+	}
+	for _, kind := range bench.AllAtomicSystems() {
+		if got, ok := systemByName(kind.String()); !ok || got != kind {
+			t.Fatalf("round trip of %v failed", kind)
+		}
+	}
+}

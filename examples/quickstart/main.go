@@ -1,0 +1,69 @@
+// Quickstart: boot the versioning storage backend in-process, perform
+// an atomic non-contiguous write, read it back from the snapshot it
+// produced, and show that snapshots are immutable.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// An in-process deployment: 8 data providers, 8 metadata shards,
+	// 64 KiB stripes. Simulate:false runs at memory speed.
+	store, err := repro.NewStore(repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One atomic write of three non-contiguous regions — the access
+	// pattern a domain-decomposed simulation produces when dumping a
+	// subdomain into the shared file.
+	pattern := repro.ExtentList{
+		{Offset: 0, Length: 11},
+		{Offset: 4096, Length: 7},
+		{Offset: 1 << 20, Length: 8},
+	}
+	payload := []byte("hello world" + "mpi-io!" + "snapshot")
+	v1, err := store.WriteList(repro.MustVec(pattern, payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d bytes across %d regions -> snapshot v%d\n",
+		len(payload), len(pattern), v1)
+
+	// Overwrite part of the middle region; this creates a NEW snapshot
+	// and leaves v1 untouched.
+	v2, err := store.Write(4096, []byte("ATOMIC!"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	middle := repro.ExtentList{{Offset: 4096, Length: 7}}
+	old, err := store.ReadListAt(v1, middle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := store.ReadListAt(v2, middle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("middle region at v%d: %q\n", v1, old)
+	fmt.Printf("middle region at v%d: %q\n", v2, cur)
+
+	versions, err := store.Versions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	size, err := store.Size()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file size %d bytes, %d snapshots retained\n", size, len(versions))
+}

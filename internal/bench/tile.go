@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/datatype"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/workload"
+)
+
+// TileOptions tunes RunTile.
+type TileOptions struct {
+	// Collective uses MPI_File_write_at_all (two-phase I/O); otherwise
+	// each rank writes independently.
+	Collective bool
+	// Iterations is the number of full-array dumps (default 1).
+	Iterations int
+	// Atomic enables MPI atomic mode (default true, matching the
+	// paper's benchmark configuration for overlapped tiles).
+	NonAtomic bool
+	// Warmup runs the whole workload this many times untimed first.
+	Warmup int
+}
+
+// RunTile measures the MPI-tile-IO workload: spec.Ranks() MPI processes
+// each write their (overlapping) tile of a dense 2D array into the
+// shared file, via a subarray file view.
+func RunTile(kind SystemKind, env cluster.Env, spec workload.TileSpec, opts TileOptions) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	sys, err := Build(kind, env, spec.FileBytes())
+	if err != nil {
+		return Result{}, err
+	}
+
+	ranks := spec.Ranks()
+	runAll := func() error {
+		return mpi.Run(ranks, func(c *mpi.Comm) error {
+			f := mpiio.Open(c, sys.Driver)
+			f.SetAtomicity(!opts.NonAtomic)
+			sub := spec.Subarray(c.Rank())
+			if err := f.SetView(mpiio.View{Disp: 0, Etype: datatype.Byte, Filetype: sub}); err != nil {
+				return err
+			}
+			buf := make([]byte, spec.BytesPerRank())
+			for i := range buf {
+				buf[i] = byte(c.Rank() + 1)
+			}
+			for it := 0; it < iters; it++ {
+				if opts.Collective {
+					if err := f.WriteAtAll(0, buf); err != nil {
+						return fmt.Errorf("rank %d iter %d: %w", c.Rank(), it, err)
+					}
+				} else {
+					if err := f.WriteAt(0, buf); err != nil {
+						return fmt.Errorf("rank %d iter %d: %w", c.Rank(), it, err)
+					}
+					c.Barrier() // mpi-tile-io synchronizes between dumps
+				}
+			}
+			return nil
+		})
+	}
+	for i := 0; i < opts.Warmup; i++ {
+		if err := runAll(); err != nil {
+			return Result{}, err
+		}
+	}
+	warmWait := sys.LockWait()
+	start := time.Now()
+	err = runAll()
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		System:   kind,
+		Clients:  ranks,
+		Calls:    ranks * iters,
+		Bytes:    int64(ranks) * int64(iters) * spec.BytesPerRank(),
+		Elapsed:  elapsed,
+		LockWait: sys.LockWait() - warmWait,
+	}
+	res.MBps = float64(res.Bytes) / (1 << 20) / elapsed.Seconds()
+	if sys.detector != nil {
+		res.Conflicts = sys.detector.Stats().Conflicts
+	}
+	return res, nil
+}
+
+// RunHalo measures the ghost-cell dump workload (the motivating
+// application pattern): each rank writes its halo-extended subdomain
+// under MPI atomicity.
+func RunHalo(kind SystemKind, env cluster.Env, spec workload.HaloSpec, iterations int) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if iterations <= 0 {
+		iterations = 1
+	}
+	dw, dh := spec.DomainDims()
+	span := int64(dw) * int64(dh) * spec.ElementSize
+	sys, err := Build(kind, env, span)
+	if err != nil {
+		return Result{}, err
+	}
+	ranks := spec.Ranks()
+	var bytes int64
+	start := time.Now()
+	err = mpi.Run(ranks, func(c *mpi.Comm) error {
+		f := mpiio.Open(c, sys.Driver)
+		f.SetAtomicity(true)
+		sub := spec.Subarray(c.Rank())
+		if err := f.SetView(mpiio.View{Disp: 0, Etype: datatype.Byte, Filetype: sub}); err != nil {
+			return err
+		}
+		buf := make([]byte, spec.BytesPerRank(c.Rank()))
+		for i := range buf {
+			buf[i] = byte(c.Rank() + 1)
+		}
+		for it := 0; it < iterations; it++ {
+			if err := f.WriteAt(0, buf); err != nil {
+				return err
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	for r := 0; r < ranks; r++ {
+		bytes += spec.BytesPerRank(r)
+	}
+	bytes *= int64(iterations)
+	res := Result{
+		System:   kind,
+		Clients:  ranks,
+		Calls:    ranks * iterations,
+		Bytes:    bytes,
+		Elapsed:  elapsed,
+		LockWait: sys.LockWait(),
+	}
+	res.MBps = float64(res.Bytes) / (1 << 20) / elapsed.Seconds()
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package blob
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/extent"
+)
+
+// BenchmarkWriteList measures end-to-end unmetered write cost for
+// varying region counts (ticket + chunk stores + metadata build +
+// publication).
+func BenchmarkWriteList(b *testing.B) {
+	for _, regions := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			blob, err := Create(testServices(), 1, segtreeGeometry(1<<26, 64<<10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var l extent.List
+			for i := 0; i < regions; i++ {
+				l = append(l, extent.Extent{Offset: int64(i) * 128 << 10, Length: 32 << 10})
+			}
+			buf := make([]byte, l.TotalLength())
+			b.SetBytes(int64(len(buf)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vec, _ := extent.NewVec(l, buf)
+				if _, err := blob.WriteList(vec, WriteOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadList measures snapshot reads over a versioned blob.
+func BenchmarkReadList(b *testing.B) {
+	blob, err := Create(testServices(), 1, segtreeGeometry(1<<24, 64<<10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4<<20)
+	v, err := blob.Write(0, buf, WriteOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := extent.List{{Offset: 0, Length: 4 << 20}}
+	b.SetBytes(4 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := blob.ReadList(v, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

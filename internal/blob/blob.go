@@ -1,0 +1,343 @@
+// Package blob implements the BlobSeer-equivalent versioning data
+// service client: it orchestrates the version manager, the metadata
+// providers and the data providers to offer versioned, striped,
+// non-contiguous reads and writes of huge binary objects.
+//
+// A write never blocks on other writers: it stores its chunks (striped
+// round-robin across data providers), builds shadowed metadata using
+// the borrow answers obtained with its ticket, and hands the new root
+// to the version manager, which publishes snapshots strictly in ticket
+// order. A read runs against one immutable published snapshot and
+// therefore needs no synchronization at all.
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/extent"
+	"repro/internal/provider"
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+// VersionService is the version-manager API the client depends on. It
+// is implemented by *vmanager.Manager in-process and by the RPC client
+// for distributed deployments.
+type VersionService interface {
+	CreateBlob(blob uint64, geo segtree.Geometry) error
+	Geometry(blob uint64) (segtree.Geometry, error)
+	AssignTicket(blob uint64, e extent.List) (vmanager.Ticket, error)
+	Complete(blob, v uint64, root segtree.NodeKey) error
+	Abort(blob, v uint64) error
+	WaitPublished(blob, v uint64) error
+	LatestPublished(blob uint64) (vmanager.SnapshotInfo, error)
+	Snapshot(blob, v uint64) (vmanager.SnapshotInfo, error)
+	Versions(blob uint64) ([]uint64, error)
+}
+
+var _ VersionService = (*vmanager.Manager)(nil)
+
+// DataService is the data-provider API: store and fetch immutable
+// chunks. Implemented by *provider.Router in-process and by the RPC
+// client remotely.
+type DataService interface {
+	Put(key chunk.Key, data []byte) (provider.ID, error)
+	Get(key chunk.Key, off, length int64) ([]byte, error)
+}
+
+var _ DataService = (*provider.Router)(nil)
+
+// Services bundles the three service endpoints a client talks to.
+type Services struct {
+	VM   VersionService
+	Meta segtree.NodeStore
+	Data DataService
+}
+
+// Blob is a handle to one versioned binary object.
+type Blob struct {
+	svc  Services
+	id   uint64
+	geo  segtree.Geometry
+	tree *segtree.Tree
+}
+
+// WriteOptions tunes one write call.
+type WriteOptions struct {
+	// NoWait returns as soon as the snapshot is complete, without
+	// waiting for in-order publication. The returned version may then
+	// not be visible to readers yet (eventual read-your-writes).
+	NoWait bool
+	// Parallelism bounds concurrent chunk stores; 0 means one inflight
+	// request per data provider piece (fully parallel).
+	Parallelism int
+}
+
+// Create registers a new blob with the given geometry and returns its
+// handle.
+func Create(svc Services, id uint64, geo segtree.Geometry) (*Blob, error) {
+	if err := svc.VM.CreateBlob(id, geo); err != nil {
+		return nil, err
+	}
+	return &Blob{svc: svc, id: id, geo: geo, tree: &segtree.Tree{Blob: id, Geo: geo, Store: svc.Meta}}, nil
+}
+
+// Open returns a handle to an existing blob.
+func Open(svc Services, id uint64) (*Blob, error) {
+	geo, err := svc.VM.Geometry(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Blob{svc: svc, id: id, geo: geo, tree: &segtree.Tree{Blob: id, Geo: geo, Store: svc.Meta}}, nil
+}
+
+// ID returns the blob identifier.
+func (b *Blob) ID() uint64 { return b.id }
+
+// Geometry returns the blob's tree geometry.
+func (b *Blob) Geometry() segtree.Geometry { return b.geo }
+
+// WriteList atomically writes a non-contiguous vector of extents,
+// producing one new snapshot, and returns its version. This is the
+// primitive the paper adds to the storage backend: the whole vector is
+// applied as a single transaction, so concurrent overlapping WriteList
+// calls never interleave within the overlap (MPI atomicity).
+func (b *Blob) WriteList(vec extent.Vec, opts WriteOptions) (uint64, error) {
+	norm := vec.Extents.Normalize()
+	if int64(len(vec.Buf)) != vec.Extents.TotalLength() {
+		return 0, fmt.Errorf("blob: buffer length %d != extent total %d", len(vec.Buf), vec.Extents.TotalLength())
+	}
+	if norm.TotalLength() != vec.Extents.TotalLength() {
+		return 0, errors.New("blob: write extents overlap each other")
+	}
+	if len(norm) == 0 {
+		return 0, vmanager.ErrEmptyWrite
+	}
+
+	// Step 1: ticket + borrow answers (the only serialized step).
+	tk, err := b.svc.VM.AssignTicket(b.id, norm)
+	if err != nil {
+		return 0, err
+	}
+
+	// Step 2: stripe the data into page-aligned pieces and store them
+	// in parallel across the data providers (round-robin allocation).
+	placed, err := b.storeChunks(tk.Version, vec, opts.Parallelism)
+	if err != nil {
+		b.retireTicket(tk, norm)
+		return 0, err
+	}
+
+	// Step 3: build shadowed metadata; no other writer is consulted.
+	root, err := b.tree.Build(tk.Version, placed, tk.Borrows)
+	if err != nil {
+		b.retireTicket(tk, norm)
+		return 0, err
+	}
+
+	// Step 4: hand the snapshot to the version manager for in-order
+	// publication.
+	if err := b.svc.VM.Complete(b.id, tk.Version, root); err != nil {
+		return 0, err
+	}
+	if !opts.NoWait {
+		if err := b.svc.VM.WaitPublished(b.id, tk.Version); err != nil {
+			return 0, err
+		}
+	}
+	return tk.Version, nil
+}
+
+// Write is the contiguous convenience form of WriteList.
+func (b *Blob) Write(off int64, data []byte, opts WriteOptions) (uint64, error) {
+	vec, err := extent.NewVec(extent.List{{Offset: off, Length: int64(len(data))}}, data)
+	if err != nil {
+		return 0, err
+	}
+	return b.WriteList(vec, opts)
+}
+
+// retireTicket cleans up after a failed write: it publishes tombstone
+// metadata (an empty overlay) under the ticket so that later writers'
+// borrow references to this version resolve and publication is not
+// stalled. If even the tombstone cannot be written (metadata service
+// unreachable), the ticket is aborted at the version manager, which at
+// least unblocks publication.
+func (b *Blob) retireTicket(tk vmanager.Ticket, touched extent.List) {
+	root, err := b.tree.BuildEmpty(tk.Version, touched, tk.Borrows)
+	if err == nil {
+		err = b.svc.VM.Complete(b.id, tk.Version, root)
+	}
+	if err != nil {
+		// Last resort; see vmanager.Abort for the residual caveats.
+		_ = b.svc.VM.Abort(b.id, tk.Version)
+	}
+}
+
+// storeChunks splits the write into page-aligned pieces, stores each as
+// one immutable chunk and returns the placement list sorted by offset.
+func (b *Blob) storeChunks(version uint64, vec extent.Vec, parallelism int) ([]segtree.Placed, error) {
+	type piece struct {
+		ext  extent.Extent
+		data []byte
+	}
+	var pieces []piece
+	var start int64
+	for _, e := range vec.Extents {
+		data := vec.Buf[start : start+e.Length]
+		start += e.Length
+		// Split at page boundaries so each piece maps to one stripe
+		// unit / tree leaf.
+		off := e.Offset
+		for len(data) > 0 {
+			boundary := (off/b.geo.Page + 1) * b.geo.Page
+			n := int64(len(data))
+			if boundary-off < n {
+				n = boundary - off
+			}
+			pieces = append(pieces, piece{ext: extent.Extent{Offset: off, Length: n}, data: data[:n]})
+			off += n
+			data = data[n:]
+		}
+	}
+
+	placed := make([]segtree.Placed, len(pieces))
+	if parallelism <= 0 || parallelism > len(pieces) {
+		parallelism = len(pieces)
+	}
+	sem := make(chan struct{}, parallelism)
+	errs := make(chan error, len(pieces))
+	var wg sync.WaitGroup
+	for i, p := range pieces {
+		wg.Add(1)
+		go func(i int, p piece) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			key := chunk.Key{Blob: b.id, Version: version, Index: uint32(i)}
+			if _, err := b.svc.Data.Put(key, p.data); err != nil {
+				errs <- err
+				return
+			}
+			placed[i] = segtree.Placed{
+				Ext: p.ext,
+				Ref: chunk.Ref{Key: key, Offset: 0, Length: p.ext.Length},
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, fmt.Errorf("blob: store chunks: %w", err)
+	}
+	return placed, nil
+}
+
+// ReadList atomically reads a non-contiguous vector of extents from the
+// snapshot with the given version, filling and returning a buffer laid
+// out in list order. Unwritten bytes read as zero.
+func (b *Blob) ReadList(version uint64, q extent.List) ([]byte, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	info, err := b.svc.VM.Snapshot(b.id, version)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve on the normalized query, then gather into the caller's
+	// (possibly overlapping / unsorted) layout.
+	norm := q.Normalize()
+	frags, _, err := b.tree.Resolve(info.Root, norm)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fetch fragments in parallel.
+	data := make([][]byte, len(frags))
+	errs := make(chan error, len(frags))
+	var wg sync.WaitGroup
+	for i, f := range frags {
+		wg.Add(1)
+		go func(i int, f segtree.Fragment) {
+			defer wg.Done()
+			d, err := b.svc.Data.Get(f.Ref.Key, f.Ref.Offset, f.Ref.Length)
+			if err != nil {
+				errs <- err
+				return
+			}
+			data[i] = d
+		}(i, f)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, fmt.Errorf("blob: fetch chunks: %w", err)
+	}
+
+	// Assemble: scatter fragments into a bounding image, then gather
+	// the caller's layout from it.
+	bound := q.Bounding()
+	image := make([]byte, bound.Length)
+	for i, f := range frags {
+		copy(image[f.Ext.Offset-bound.Offset:], data[i])
+	}
+	out := make([]byte, q.TotalLength())
+	vec := extent.Vec{Extents: q, Buf: out}
+	vec.GatherFrom(image, bound.Offset)
+	return out, nil
+}
+
+// ReadAt is the contiguous convenience form of ReadList.
+func (b *Blob) ReadAt(version uint64, off, length int64) ([]byte, error) {
+	return b.ReadList(version, extent.List{{Offset: off, Length: length}})
+}
+
+// ReadLatest reads against the newest published snapshot and returns
+// the data along with the version it came from.
+func (b *Blob) ReadLatest(q extent.List) ([]byte, uint64, error) {
+	info, err := b.svc.VM.LatestPublished(b.id)
+	if err != nil {
+		return nil, 0, err
+	}
+	data, err := b.ReadList(info.Version, q)
+	return data, info.Version, err
+}
+
+// Latest returns the newest published snapshot descriptor.
+func (b *Blob) Latest() (vmanager.SnapshotInfo, error) {
+	return b.svc.VM.LatestPublished(b.id)
+}
+
+// Size returns the size of the given published snapshot.
+func (b *Blob) Size(version uint64) (int64, error) {
+	info, err := b.svc.VM.Snapshot(b.id, version)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size, nil
+}
+
+// Versions lists all published versions of the blob.
+func (b *Blob) Versions() ([]uint64, error) {
+	return b.svc.VM.Versions(b.id)
+}
+
+// Diff returns the byte ranges whose contents may differ between two
+// published snapshots, at a cost proportional to the changed metadata
+// (shared subtrees are skipped thanks to shadowing). Conservative:
+// every changed byte is reported; reported bytes may compare equal if
+// rewritten with identical data.
+func (b *Blob) Diff(va, vb uint64) (extent.List, error) {
+	ia, err := b.svc.VM.Snapshot(b.id, va)
+	if err != nil {
+		return nil, err
+	}
+	ib, err := b.svc.VM.Snapshot(b.id, vb)
+	if err != nil {
+		return nil, err
+	}
+	return b.tree.Diff(ia.Root, ib.Root)
+}

@@ -1,0 +1,261 @@
+// Package chunk implements the immutable chunk stores that hold blob
+// data. Chunks are write-once: a writer stores the data of one update
+// under a key derived from (blob, version ticket, index) and metadata
+// then references sub-ranges of those chunks. Because chunks are never
+// modified, readers need no synchronization against writers — the
+// property the paper's versioning scheme relies on.
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/iosim"
+)
+
+// Key identifies one immutable chunk.
+type Key struct {
+	Blob    uint64 // blob identifier
+	Version uint64 // write ticket that produced the chunk
+	Index   uint32 // ordinal within that write
+}
+
+// String renders the key for diagnostics and disk file names.
+func (k Key) String() string {
+	return fmt.Sprintf("b%d-v%d-c%d", k.Blob, k.Version, k.Index)
+}
+
+// Ref points at a sub-range of a stored chunk. Metadata leaves hold Refs.
+type Ref struct {
+	Key    Key
+	Offset int64 // offset within the chunk
+	Length int64 // number of bytes referenced
+}
+
+// Marshal encodes the ref into a fixed 36-byte representation.
+func (r Ref) Marshal() []byte {
+	b := make([]byte, 36)
+	binary.LittleEndian.PutUint64(b[0:], r.Key.Blob)
+	binary.LittleEndian.PutUint64(b[8:], r.Key.Version)
+	binary.LittleEndian.PutUint32(b[16:], r.Key.Index)
+	binary.LittleEndian.PutUint64(b[20:], uint64(r.Offset))
+	binary.LittleEndian.PutUint64(b[28:], uint64(r.Length))
+	return b
+}
+
+// UnmarshalRef decodes a ref written by Marshal.
+func UnmarshalRef(b []byte) (Ref, error) {
+	if len(b) < 36 {
+		return Ref{}, fmt.Errorf("chunk: ref too short (%d bytes)", len(b))
+	}
+	return Ref{
+		Key: Key{
+			Blob:    binary.LittleEndian.Uint64(b[0:]),
+			Version: binary.LittleEndian.Uint64(b[8:]),
+			Index:   binary.LittleEndian.Uint32(b[16:]),
+		},
+		Offset: int64(binary.LittleEndian.Uint64(b[20:])),
+		Length: int64(binary.LittleEndian.Uint64(b[28:])),
+	}, nil
+}
+
+// ErrNotFound is returned when a chunk key is unknown.
+var ErrNotFound = errors.New("chunk: not found")
+
+// ErrExists is returned when a chunk key is stored twice; chunks are
+// immutable so double stores indicate a protocol violation.
+var ErrExists = errors.New("chunk: already exists")
+
+// Store is the provider-side chunk repository.
+type Store interface {
+	// Put stores an immutable chunk. Storing the same key twice fails
+	// with ErrExists.
+	Put(key Key, data []byte) error
+	// Get returns length bytes starting at off within the chunk.
+	Get(key Key, off, length int64) ([]byte, error)
+	// Len returns the stored chunk's size, or ErrNotFound.
+	Len(key Key) (int64, error)
+	// Count returns the number of chunks held.
+	Count() int
+}
+
+// MemStore is an in-memory chunk store metered by an iosim.Meter.
+type MemStore struct {
+	mu     sync.RWMutex
+	chunks map[Key][]byte
+	meter  *iosim.Meter
+}
+
+// NewMemStore builds an in-memory store. meter may be nil for unmetered
+// stores (unit tests).
+func NewMemStore(meter *iosim.Meter) *MemStore {
+	return &MemStore{chunks: make(map[Key][]byte), meter: meter}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key Key, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	_, dup := s.chunks[key]
+	if !dup {
+		s.chunks[key] = cp
+	}
+	s.mu.Unlock()
+	if dup {
+		return fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	if s.meter != nil {
+		s.meter.Charge(int64(len(data)))
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key Key, off, length int64) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.chunks[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if off < 0 || length < 0 || off+length > int64(len(data)) {
+		return nil, fmt.Errorf("chunk: range [%d,%d) out of bounds for %s (len %d)", off, off+length, key, len(data))
+	}
+	out := make([]byte, length)
+	copy(out, data[off:off+length])
+	if s.meter != nil {
+		s.meter.Charge(length)
+	}
+	return out, nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len(key Key) (int64, error) {
+	s.mu.RLock()
+	data, ok := s.chunks[key]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return int64(len(data)), nil
+}
+
+// Count implements Store.
+func (s *MemStore) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks)
+}
+
+// DiskStore persists each chunk as one file under a directory. It is the
+// durable counterpart of MemStore and shares its metering semantics.
+type DiskStore struct {
+	dir   string
+	mu    sync.RWMutex
+	known map[Key]int64 // size index to avoid stat storms
+	meter *iosim.Meter
+}
+
+// NewDiskStore creates (if needed) the directory and opens a store.
+func NewDiskStore(dir string, meter *iosim.Meter) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("chunk: create dir: %w", err)
+	}
+	s := &DiskStore{dir: dir, known: make(map[Key]int64), meter: meter}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("chunk: scan dir: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		var blob, ver uint64
+		var idx uint32
+		if _, err := fmt.Sscanf(ent.Name(), "b%d-v%d-c%d", &blob, &ver, &idx); err != nil {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		s.known[Key{Blob: blob, Version: ver, Index: idx}] = info.Size()
+	}
+	return s, nil
+}
+
+func (s *DiskStore) path(key Key) string {
+	return filepath.Join(s.dir, key.String())
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(key Key, data []byte) error {
+	s.mu.Lock()
+	if _, dup := s.known[key]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	// Reserve the key before releasing the lock so concurrent writers
+	// of the same key fail fast; the file write happens outside.
+	s.known[key] = int64(len(data))
+	s.mu.Unlock()
+	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
+		s.mu.Lock()
+		delete(s.known, key)
+		s.mu.Unlock()
+		return fmt.Errorf("chunk: write %s: %w", key, err)
+	}
+	if s.meter != nil {
+		s.meter.Charge(int64(len(data)))
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(key Key, off, length int64) ([]byte, error) {
+	s.mu.RLock()
+	size, ok := s.known[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if off < 0 || length < 0 || off+length > size {
+		return nil, fmt.Errorf("chunk: range [%d,%d) out of bounds for %s (len %d)", off, off+length, key, size)
+	}
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		return nil, fmt.Errorf("chunk: open %s: %w", key, err)
+	}
+	defer f.Close()
+	out := make([]byte, length)
+	if _, err := f.ReadAt(out, off); err != nil {
+		return nil, fmt.Errorf("chunk: read %s: %w", key, err)
+	}
+	if s.meter != nil {
+		s.meter.Charge(length)
+	}
+	return out, nil
+}
+
+// Len implements Store.
+func (s *DiskStore) Len(key Key) (int64, error) {
+	s.mu.RLock()
+	size, ok := s.known[key]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return size, nil
+}
+
+// Count implements Store.
+func (s *DiskStore) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.known)
+}

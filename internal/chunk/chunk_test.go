@@ -1,0 +1,288 @@
+package chunk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iosim"
+)
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDiskStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":  NewMemStore(nil),
+		"disk": disk,
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			key := Key{Blob: 1, Version: 7, Index: 3}
+			data := []byte("hello chunk store")
+			if err := s.Put(key, data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get(key, 0, int64(len(data)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Get = %q, want %q", got, data)
+			}
+			part, err := s.Get(key, 6, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(part) != "chunk" {
+				t.Fatalf("partial Get = %q", part)
+			}
+			n, err := s.Len(key)
+			if err != nil || n != int64(len(data)) {
+				t.Fatalf("Len = %d, %v", n, err)
+			}
+			if s.Count() != 1 {
+				t.Fatalf("Count = %d", s.Count())
+			}
+		})
+	}
+}
+
+func TestStoreImmutability(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			key := Key{Blob: 2, Version: 1, Index: 0}
+			if err := s.Put(key, []byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			err := s.Put(key, []byte("b"))
+			if !errors.Is(err, ErrExists) {
+				t.Fatalf("double Put err = %v, want ErrExists", err)
+			}
+			got, err := s.Get(key, 0, 1)
+			if err != nil || got[0] != 'a' {
+				t.Fatalf("original data must survive: %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestStoreNotFound(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			_, err := s.Get(Key{Blob: 9}, 0, 1)
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("err = %v, want ErrNotFound", err)
+			}
+			_, err = s.Len(Key{Blob: 9})
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Len err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreRangeChecks(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			key := Key{Blob: 3}
+			if err := s.Put(key, make([]byte, 10)); err != nil {
+				t.Fatal(err)
+			}
+			for _, rng := range [][2]int64{{-1, 2}, {0, 11}, {5, 6}, {0, -1}} {
+				if _, err := s.Get(key, rng[0], rng[1]); err == nil {
+					t.Fatalf("range %v should fail", rng)
+				}
+			}
+		})
+	}
+}
+
+func TestMemStoreCopiesData(t *testing.T) {
+	s := NewMemStore(nil)
+	data := []byte{1, 2, 3}
+	key := Key{Blob: 1}
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99 // caller mutates its buffer after Put
+	got, _ := s.Get(key, 0, 3)
+	if got[0] != 1 {
+		t.Fatal("store must not alias caller buffer")
+	}
+	got[1] = 88 // reader mutates the returned buffer
+	got2, _ := s.Get(key, 0, 3)
+	if got2[1] != 2 {
+		t.Fatal("store must not alias reader buffer")
+	}
+}
+
+func TestDiskStoreReload(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Blob: 5, Version: 2, Index: 1}
+	if err := s1.Put(key, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open: the size index must be rebuilt from the directory.
+	s2, err := NewDiskStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(key, 0, 9)
+	if err != nil || string(got) != "persisted" {
+		t.Fatalf("reload Get = %q, %v", got, err)
+	}
+	if s2.Count() != 1 {
+		t.Fatalf("reload Count = %d", s2.Count())
+	}
+}
+
+func TestStoreConcurrentPuts(t *testing.T) {
+	s := NewMemStore(nil)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := Key{Blob: 1, Version: uint64(i), Index: 0}
+			if err := s.Put(key, []byte{byte(i)}); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Count() != n {
+		t.Fatalf("Count = %d, want %d", s.Count(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, err := s.Get(Key{Blob: 1, Version: uint64(i)}, 0, 1)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("Get %d = %v, %v", i, got, err)
+		}
+	}
+}
+
+func TestMeterIsCharged(t *testing.T) {
+	meter := iosim.NewMeter(iosim.CostModel{}, true)
+	s := NewMemStore(meter)
+	key := Key{Blob: 1}
+	if err := s.Put(key, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	st := meter.Stats()
+	if st.Ops != 2 || st.Bytes != 140 {
+		t.Fatalf("meter stats = %+v", st)
+	}
+}
+
+func TestRefMarshalRoundTrip(t *testing.T) {
+	f := func(blob, ver uint64, idx uint32, off, length int64) bool {
+		if off < 0 {
+			off = -off
+		}
+		if length < 0 {
+			length = -length
+		}
+		r := Ref{Key: Key{Blob: blob, Version: ver, Index: idx}, Offset: off, Length: length}
+		got, err := UnmarshalRef(r.Marshal())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRefShort(t *testing.T) {
+	if _, err := UnmarshalRef(make([]byte, 10)); err == nil {
+		t.Fatal("short buffer must fail")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Blob: 1, Version: 2, Index: 3}
+	if k.String() != "b1-v2-c3" {
+		t.Fatalf("String = %q", k.String())
+	}
+}
+
+func TestDiskStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s1
+	// Drop a foreign file and reload.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a chunk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count() != 0 {
+		t.Fatalf("foreign files must be ignored, Count = %d", s2.Count())
+	}
+}
+
+func TestPropStoreRandomRanges(t *testing.T) {
+	s := NewMemStore(nil)
+	r := rand.New(rand.NewSource(42))
+	const size = 1024
+	data := make([]byte, size)
+	r.Read(data)
+	key := Key{Blob: 77}
+	if err := s.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		off := int64(r.Intn(size))
+		length := int64(r.Intn(size - int(off)))
+		got, err := s.Get(key, off, length)
+		if err != nil {
+			t.Fatalf("Get(%d,%d): %v", off, length, err)
+		}
+		if !bytes.Equal(got, data[off:off+length]) {
+			t.Fatalf("range [%d,%d) mismatch", off, off+length)
+		}
+	}
+}
+
+func BenchmarkMemStorePut(b *testing.B) {
+	s := NewMemStore(nil)
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := Key{Blob: 1, Version: uint64(i)}
+		if err := s.Put(key, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleRef() {
+	r := Ref{Key: Key{Blob: 1, Version: 4, Index: 2}, Offset: 128, Length: 64}
+	back, _ := UnmarshalRef(r.Marshal())
+	fmt.Println(back.Key, back.Offset, back.Length)
+	// Output: b1-v4-c2 128 64
+}

@@ -1,0 +1,66 @@
+package chunk
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error FaultStore returns for injected failures.
+var ErrInjected = errors.New("chunk: injected fault")
+
+// FaultStore wraps a Store and fails a configurable subset of
+// operations; used by failure-injection tests to exercise the write
+// path's ticket-retirement logic.
+type FaultStore struct {
+	Inner Store
+
+	failPuts atomic.Int64 // number of upcoming Puts to fail
+	failGets atomic.Int64 // number of upcoming Gets to fail
+}
+
+var _ Store = (*FaultStore)(nil)
+
+// NewFaultStore wraps inner with no faults armed.
+func NewFaultStore(inner Store) *FaultStore { return &FaultStore{Inner: inner} }
+
+// FailNextPuts arms n upcoming Put failures.
+func (f *FaultStore) FailNextPuts(n int64) { f.failPuts.Store(n) }
+
+// FailNextGets arms n upcoming Get failures.
+func (f *FaultStore) FailNextGets(n int64) { f.failGets.Store(n) }
+
+// Put implements Store.
+func (f *FaultStore) Put(key Key, data []byte) error {
+	if take(&f.failPuts) {
+		return ErrInjected
+	}
+	return f.Inner.Put(key, data)
+}
+
+// Get implements Store.
+func (f *FaultStore) Get(key Key, off, length int64) ([]byte, error) {
+	if take(&f.failGets) {
+		return nil, ErrInjected
+	}
+	return f.Inner.Get(key, off, length)
+}
+
+// Len implements Store.
+func (f *FaultStore) Len(key Key) (int64, error) { return f.Inner.Len(key) }
+
+// Count implements Store.
+func (f *FaultStore) Count() int { return f.Inner.Count() }
+
+// take decrements the counter if positive and reports whether a fault
+// fired.
+func take(c *atomic.Int64) bool {
+	for {
+		cur := c.Load()
+		if cur <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}

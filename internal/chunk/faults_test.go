@@ -1,0 +1,82 @@
+package chunk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFaultStorePassThrough(t *testing.T) {
+	f := NewFaultStore(NewMemStore(nil))
+	key := Key{Blob: 1}
+	if err := f.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get(key, 0, 1)
+	if err != nil || got[0] != 'x' {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if n, err := f.Len(key); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	if f.Count() != 1 {
+		t.Fatalf("Count = %d", f.Count())
+	}
+}
+
+func TestFaultStoreInjectsPutFailures(t *testing.T) {
+	f := NewFaultStore(NewMemStore(nil))
+	f.FailNextPuts(2)
+	if err := f.Put(Key{Blob: 1}, []byte("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := f.Put(Key{Blob: 2}, []byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	// Third put succeeds.
+	if err := f.Put(Key{Blob: 3}, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultStoreInjectsGetFailures(t *testing.T) {
+	f := NewFaultStore(NewMemStore(nil))
+	key := Key{Blob: 1}
+	if err := f.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.FailNextGets(1)
+	if _, err := f.Get(key, 0, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := f.Get(key, 0, 1); err != nil {
+		t.Fatalf("recovered Get err = %v", err)
+	}
+}
+
+func TestFaultStoreConcurrentArming(t *testing.T) {
+	f := NewFaultStore(NewMemStore(nil))
+	const n = 32
+	f.FailNextPuts(n / 2)
+	var failed, ok int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := f.Put(Key{Blob: uint64(i)}, []byte{1})
+			mu.Lock()
+			if err != nil {
+				failed++
+			} else {
+				ok++
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if failed != n/2 || ok != n/2 {
+		t.Fatalf("failed=%d ok=%d, want exactly %d each", failed, ok, n/2)
+	}
+}

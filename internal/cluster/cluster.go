@@ -1,0 +1,152 @@
+// Package cluster wires complete deployments of both storage systems —
+// the versioning service (version manager + metadata shards + data
+// providers) and the Lustre-like locking file system — either
+// unmetered for fast tests or with the synthetic Grid'5000-style cost
+// models for experiments. Examples, commands and the benchmark harness
+// all build their systems here.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/core"
+	"repro/internal/iosim"
+	"repro/internal/lockfs"
+	"repro/internal/metadata"
+	"repro/internal/provider"
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+// Env describes the simulated hardware: storage elements and their
+// cost models. The zero value of the model fields means "free"
+// (unit-test speed); Metered() fills in the representative Grid'5000
+// models.
+type Env struct {
+	// Providers is the number of data providers (versioning) or OSTs
+	// (locking baseline); both systems always get the same number so
+	// comparisons are fair.
+	Providers int
+	// MetaShards is the number of metadata providers (versioning only).
+	MetaShards int
+	// ChunkSize is the stripe unit: the versioning page size and the
+	// locking file system's stripe size.
+	ChunkSize int64
+
+	DataModel iosim.CostModel // per provider / OST
+	MetaModel iosim.CostModel // per metadata shard
+	CtrlModel iosim.CostModel // version manager, lock manager, detector RPCs
+}
+
+// Default returns the unmetered environment used by tests.
+func Default() Env {
+	return Env{Providers: 8, MetaShards: 8, ChunkSize: 64 << 10}
+}
+
+// Metered returns the experiment environment: every storage server
+// charges a per-op latency and sustains finite bandwidth, matching the
+// relative magnitudes of a cluster testbed (100µs/op and 1 GiB/s per
+// data server, 20µs per metadata/control RPC).
+func Metered() Env {
+	e := Default()
+	e.DataModel = iosim.DefaultNetwork()
+	e.MetaModel = iosim.CostModel{PerOp: 20 * time.Microsecond, BytesPerSec: 4 << 30}
+	e.CtrlModel = iosim.CostModel{PerOp: 50 * time.Microsecond, BytesPerSec: 16 << 30}
+	return e
+}
+
+// Validate checks the environment.
+func (e Env) Validate() error {
+	if e.Providers < 1 {
+		return fmt.Errorf("cluster: need at least one provider, got %d", e.Providers)
+	}
+	if e.MetaShards < 1 {
+		return fmt.Errorf("cluster: need at least one metadata shard, got %d", e.MetaShards)
+	}
+	if e.ChunkSize < 1 {
+		return fmt.Errorf("cluster: chunk size %d must be positive", e.ChunkSize)
+	}
+	return nil
+}
+
+// Versioning is a full in-process deployment of the paper's storage
+// service.
+type Versioning struct {
+	VM        *vmanager.Manager
+	Meta      *metadata.Store
+	Providers *provider.Manager
+	Router    *provider.Router
+	env       Env
+}
+
+// NewVersioning boots the service.
+func NewVersioning(env Env) (*Versioning, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	mgr, _ := provider.NewPool(env.Providers, env.DataModel)
+	return &Versioning{
+		VM:        vmanager.New(env.CtrlModel),
+		Meta:      metadata.NewStore(env.MetaShards, env.MetaModel),
+		Providers: mgr,
+		Router:    provider.NewRouter(mgr),
+		env:       env,
+	}, nil
+}
+
+// Services returns the client-facing service bundle.
+func (v *Versioning) Services() blob.Services {
+	return blob.Services{VM: v.VM, Meta: v.Meta, Data: v.Router}
+}
+
+// Backend creates a versioning backend over a new blob sized to cover
+// span bytes (rounded up to a power-of-two multiple of the chunk size).
+func (v *Versioning) Backend(blobID uint64, span int64) (*core.VersioningBackend, error) {
+	geo := segtree.Geometry{Capacity: CapacityFor(span, v.env.ChunkSize), Page: v.env.ChunkSize}
+	return core.NewVersioning(v.Services(), blobID, geo)
+}
+
+// Lustre is a deployment of the locking baseline.
+type Lustre struct {
+	FS  *lockfs.FS
+	env Env
+}
+
+// NewLustre boots the locking file system with the same storage
+// resources as the versioning deployment would get.
+func NewLustre(env Env) (*Lustre, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	fs, err := lockfs.New(lockfs.Config{
+		OSTs:       env.Providers,
+		StripeSize: env.ChunkSize,
+		OSTModel:   env.DataModel,
+		LockModel:  env.CtrlModel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Lustre{FS: fs, env: env}, nil
+}
+
+// File creates the shared file.
+func (l *Lustre) File(name string) (*lockfs.File, error) {
+	return l.FS.Create(name)
+}
+
+// CapacityFor rounds span up to the smallest power-of-two multiple of
+// page that covers it.
+func CapacityFor(span, page int64) int64 {
+	if span < page {
+		span = page
+	}
+	pages := (span + page - 1) / page
+	p := int64(1)
+	for p < pages {
+		p <<= 1
+	}
+	return p * page
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/extent"
+)
+
+func TestEnvValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Metered().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Env{
+		{Providers: 0, MetaShards: 1, ChunkSize: 1},
+		{Providers: 1, MetaShards: 0, ChunkSize: 1},
+		{Providers: 1, MetaShards: 1, ChunkSize: 0},
+	}
+	for i, e := range bad {
+		if e.Validate() == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}
+
+func TestMeteredModelsCharge(t *testing.T) {
+	e := Metered()
+	if e.DataModel.Zero() || e.MetaModel.Zero() || e.CtrlModel.Zero() {
+		t.Fatal("metered env must charge")
+	}
+	if !Default().DataModel.Zero() {
+		t.Fatal("default env must be free")
+	}
+}
+
+func TestCapacityFor(t *testing.T) {
+	cases := []struct {
+		span, page, want int64
+	}{
+		{0, 64, 64},
+		{64, 64, 64},
+		{65, 64, 128},
+		{1000, 64, 1024},
+		{1024, 256, 1024},
+		{1025, 256, 2048},
+	}
+	for i, c := range cases {
+		if got := CapacityFor(c.span, c.page); got != c.want {
+			t.Fatalf("case %d: CapacityFor(%d,%d) = %d, want %d", i, c.span, c.page, got, c.want)
+		}
+	}
+}
+
+func TestVersioningDeployment(t *testing.T) {
+	env := Default()
+	env.Providers = 3
+	svc, err := NewVersioning(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Providers.Count() != 3 {
+		t.Fatalf("providers = %d", svc.Providers.Count())
+	}
+	be, err := svc.Backend(1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := extent.NewVec(extent.List{{Offset: 0, Length: 10}}, make([]byte, 10))
+	if _, err := be.WriteList(vec); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := be.ReadList(extent.List{{Offset: 0, Length: 10}})
+	if err != nil || len(got) != 10 {
+		t.Fatalf("read = %v, %v", got, err)
+	}
+}
+
+func TestLustreDeployment(t *testing.T) {
+	l, err := NewLustre(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := l.File("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteAt(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if l.FS.OSTCount() != Default().Providers {
+		t.Fatalf("OSTs = %d", l.FS.OSTCount())
+	}
+}
+
+func TestInvalidEnvRejected(t *testing.T) {
+	if _, err := NewVersioning(Env{}); err == nil {
+		t.Fatal("invalid env must fail")
+	}
+	if _, err := NewLustre(Env{}); err == nil {
+		t.Fatal("invalid env must fail")
+	}
+}

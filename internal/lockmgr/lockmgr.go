@@ -1,0 +1,201 @@
+// Package lockmgr implements the distributed lock manager used by the
+// locking-based baselines: byte-range (extent) locks with FIFO
+// fairness, as provided by parallel file systems such as Lustre's LDLM
+// or GPFS's token manager. The paper's Related Work section describes
+// three ways MPI-I/O layers use such locks to implement atomicity —
+// whole-file locking, bounding-range locking, and conflict-detection —
+// all of which are built on this manager (see internal/mpiio).
+//
+// Every acquire and release is charged a simulated RPC cost, and the
+// manager records how long requests wait; lock wait time is the
+// quantity the paper's versioning design eliminates.
+package lockmgr
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/extent"
+	"repro/internal/iosim"
+)
+
+// WholeFile is the extent that covers any possible byte range; locking
+// it serializes all access to the file.
+var WholeFile = extent.Extent{Offset: 0, Length: math.MaxInt64}
+
+// Mode distinguishes shared (read) from exclusive (write) locks. Two
+// shared locks on overlapping ranges are compatible; any pairing
+// involving an exclusive lock conflicts.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "shared"
+	}
+	return "exclusive"
+}
+
+// Manager is a byte-range lock manager for one shared resource (one
+// file). It grants locks in FIFO order among conflicting requests,
+// preventing starvation. Safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	held    map[uint64]*waiter // grant id → locked range and mode
+	pending []*waiter
+	nextID  uint64
+
+	meter *iosim.Meter
+
+	acquires  atomic.Int64
+	waitNanos atomic.Int64
+	maxQueue  atomic.Int64
+}
+
+type waiter struct {
+	id   uint64
+	e    extent.Extent
+	mode Mode
+}
+
+// conflicts reports whether two requests are incompatible.
+func conflicts(a, b *waiter) bool {
+	if !a.e.Overlaps(b.e) {
+		return false
+	}
+	return a.mode == Exclusive || b.mode == Exclusive
+}
+
+// New builds a manager whose acquire/release requests are charged the
+// given cost model (zero model for unit tests).
+func New(model iosim.CostModel) *Manager {
+	m := &Manager{held: make(map[uint64]*waiter)}
+	m.cond = sync.NewCond(&m.mu)
+	m.meter = iosim.NewMeter(model, false)
+	return m
+}
+
+// Meter exposes the request meter.
+func (m *Manager) Meter() *iosim.Meter { return m.meter }
+
+// Grant represents a held lock; Release returns it.
+type Grant struct {
+	m  *Manager
+	id uint64
+
+	released bool
+}
+
+// Acquire blocks until the byte range can be locked in the given mode
+// and returns the grant. Requests are served FIFO among conflicting
+// requests.
+func (m *Manager) Acquire(e extent.Extent, mode Mode) *Grant {
+	m.meter.Charge(0) // lock-request RPC
+	start := time.Now()
+	m.mu.Lock()
+	w := &waiter{id: m.nextID, e: e, mode: mode}
+	m.nextID++
+	m.pending = append(m.pending, w)
+	if q := int64(len(m.pending)); q > m.maxQueue.Load() {
+		m.maxQueue.Store(q)
+	}
+	for !m.grantable(w) {
+		m.cond.Wait()
+	}
+	// Remove w from pending, move to held.
+	for i, p := range m.pending {
+		if p == w {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			break
+		}
+	}
+	m.held[w.id] = w
+	m.mu.Unlock()
+	m.acquires.Add(1)
+	m.waitNanos.Add(int64(time.Since(start)))
+	return &Grant{m: m, id: w.id}
+}
+
+// AcquireList locks every extent of the (normalized) list, acquiring in
+// ascending offset order so concurrent list acquisitions cannot
+// deadlock (two-phase locking with ordered acquisition). The returned
+// grants must all be released.
+func (m *Manager) AcquireList(l extent.List, mode Mode) []*Grant {
+	norm := l.Normalize()
+	grants := make([]*Grant, 0, len(norm))
+	for _, e := range norm {
+		grants = append(grants, m.Acquire(e, mode))
+	}
+	return grants
+}
+
+// grantable reports whether w conflicts with no held lock and no
+// earlier pending request. Callers hold m.mu.
+func (m *Manager) grantable(w *waiter) bool {
+	for _, h := range m.held {
+		if conflicts(h, w) {
+			return false
+		}
+	}
+	for _, p := range m.pending {
+		if p.id >= w.id {
+			continue
+		}
+		if conflicts(p, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Release frees the grant. Releasing twice is a no-op.
+func (g *Grant) Release() {
+	if g.released {
+		return
+	}
+	g.released = true
+	g.m.meter.Charge(0) // unlock RPC
+	g.m.mu.Lock()
+	delete(g.m.held, g.id)
+	g.m.cond.Broadcast()
+	g.m.mu.Unlock()
+}
+
+// ReleaseAll releases a slice of grants (in reverse order, as 2PL
+// convention suggests, though order does not matter for correctness).
+func ReleaseAll(grants []*Grant) {
+	for i := len(grants) - 1; i >= 0; i-- {
+		grants[i].Release()
+	}
+}
+
+// Stats is a snapshot of lock-manager counters.
+type Stats struct {
+	Acquires  int64
+	TotalWait time.Duration
+	MaxQueue  int64
+}
+
+// Stats returns cumulative counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Acquires:  m.acquires.Load(),
+		TotalWait: time.Duration(m.waitNanos.Load()),
+		MaxQueue:  m.maxQueue.Load(),
+	}
+}
+
+// HeldCount returns the number of currently held locks (for tests).
+func (m *Manager) HeldCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held)
+}

@@ -1,0 +1,266 @@
+// Package provider implements the data-provider layer: a set of chunk
+// stores (one per storage machine) and the provider manager that
+// allocates chunks to providers. The manager implements the paper's
+// load-balancing striping strategy: writes are directed to providers in
+// round-robin order so the I/O workload distributes itself across the
+// aggregate bandwidth of all machines.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chunk"
+	"repro/internal/iosim"
+)
+
+// ID identifies one data provider.
+type ID int
+
+// Provider couples a chunk store with identity and accounting. The
+// meter, when present, lives inside the store (see chunk.NewMemStore),
+// so Provider itself only tracks allocation counts.
+type Provider struct {
+	id        ID
+	store     chunk.Store
+	allocated atomic.Int64
+}
+
+// New builds a provider around the given store.
+func New(id ID, store chunk.Store) *Provider {
+	return &Provider{id: id, store: store}
+}
+
+// ID returns the provider's identity.
+func (p *Provider) ID() ID { return p.id }
+
+// Store exposes the underlying chunk store.
+func (p *Provider) Store() chunk.Store { return p.store }
+
+// Allocated returns how many chunks the manager has routed here.
+func (p *Provider) Allocated() int64 { return p.allocated.Load() }
+
+// ErrNoProviders is returned when the manager has no registered
+// providers.
+var ErrNoProviders = errors.New("provider: no providers registered")
+
+// Policy selects the allocation strategy for new chunks.
+type Policy int
+
+// Allocation policies. RoundRobin is the paper's load-balancing
+// strategy; the others exist for the striping ablation.
+const (
+	// RoundRobin cycles through providers, giving a perfectly uniform
+	// distribution.
+	RoundRobin Policy = iota
+	// Random picks a provider uniformly at random per chunk.
+	Random
+	// LeastLoaded picks the provider with the fewest allocated chunks.
+	LeastLoaded
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "roundrobin"
+	case Random:
+		return "random"
+	case LeastLoaded:
+		return "leastloaded"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Manager is the provider manager: it tracks live providers and hands
+// out allocation targets for new chunks.
+type Manager struct {
+	mu        sync.RWMutex
+	providers []*Provider
+	next      atomic.Uint64
+	policy    Policy
+	rnd       func() uint64
+}
+
+// NewManager builds an empty round-robin manager.
+func NewManager() *Manager { return &Manager{} }
+
+// SetPolicy switches the allocation policy. Random uses a fast
+// xorshift source seeded from the counter so allocation stays
+// deterministic per manager instance.
+func (m *Manager) SetPolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+	if p == Random && m.rnd == nil {
+		var state uint64 = 0x9E3779B97F4A7C15
+		var mu sync.Mutex
+		m.rnd = func() uint64 {
+			mu.Lock()
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			v := state
+			mu.Unlock()
+			return v
+		}
+	}
+}
+
+// Policy returns the current allocation policy.
+func (m *Manager) Policy() Policy {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.policy
+}
+
+// NewPool builds a manager with n in-memory providers, each metered by
+// its own exclusive meter using the given cost model. It returns the
+// manager and the meters for inspection.
+func NewPool(n int, model iosim.CostModel) (*Manager, []*iosim.Meter) {
+	m := NewManager()
+	meters := make([]*iosim.Meter, 0, n)
+	for i := 0; i < n; i++ {
+		meter := iosim.NewMeter(model, true)
+		meters = append(meters, meter)
+		m.Register(New(ID(i), chunk.NewMemStore(meter)))
+	}
+	return m, meters
+}
+
+// Register adds a provider to the pool.
+func (m *Manager) Register(p *Provider) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.providers = append(m.providers, p)
+}
+
+// Count returns the number of registered providers.
+func (m *Manager) Count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.providers)
+}
+
+// Providers returns a snapshot of the registered providers.
+func (m *Manager) Providers() []*Provider {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Provider, len(m.providers))
+	copy(out, m.providers)
+	return out
+}
+
+// Allocate returns the provider that should store the next chunk,
+// according to the configured policy.
+func (m *Manager) Allocate() (*Provider, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.providers) == 0 {
+		return nil, ErrNoProviders
+	}
+	var p *Provider
+	switch m.policy {
+	case Random:
+		p = m.providers[m.rnd()%uint64(len(m.providers))]
+	case LeastLoaded:
+		p = m.providers[0]
+		for _, cand := range m.providers[1:] {
+			if cand.Allocated() < p.Allocated() {
+				p = cand
+			}
+		}
+	default: // RoundRobin
+		i := m.next.Add(1) - 1
+		p = m.providers[i%uint64(len(m.providers))]
+	}
+	p.allocated.Add(1)
+	return p, nil
+}
+
+// AllocateN returns n allocation targets in round-robin order. Useful
+// when a writer knows up front how many chunks one update produces.
+func (m *Manager) AllocateN(n int) ([]*Provider, error) {
+	out := make([]*Provider, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := m.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ForKey returns the provider holding the given chunk key. Placement is
+// recorded implicitly: writers store through the provider returned by
+// Allocate, so readers locate chunks via the placement map maintained
+// by Put/Locate below.
+type placement struct {
+	mu sync.RWMutex
+	m  map[chunk.Key]ID
+}
+
+// Router pairs a Manager with a placement map so that readers can find
+// the provider that holds any chunk. In the real BlobSeer placement is
+// embedded in metadata; recording it here keeps metadata nodes compact
+// while preserving the lookup path.
+type Router struct {
+	*Manager
+	place placement
+}
+
+// NewRouter wraps a manager with a placement map.
+func NewRouter(m *Manager) *Router {
+	return &Router{Manager: m, place: placement{m: make(map[chunk.Key]ID)}}
+}
+
+// Put allocates a provider, stores the chunk there and records
+// placement.
+func (r *Router) Put(key chunk.Key, data []byte) (ID, error) {
+	p, err := r.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Store().Put(key, data); err != nil {
+		return 0, fmt.Errorf("provider %d: %w", p.ID(), err)
+	}
+	r.place.mu.Lock()
+	r.place.m[key] = p.ID()
+	r.place.mu.Unlock()
+	return p.ID(), nil
+}
+
+// Get reads a chunk sub-range by consulting the placement map.
+func (r *Router) Get(key chunk.Key, off, length int64) ([]byte, error) {
+	r.place.mu.RLock()
+	id, ok := r.place.m[key]
+	r.place.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", chunk.ErrNotFound, key)
+	}
+	m := r.Manager
+	m.mu.RLock()
+	var p *Provider
+	for _, cand := range m.providers {
+		if cand.ID() == id {
+			p = cand
+			break
+		}
+	}
+	m.mu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("provider: placement references unknown provider %d", id)
+	}
+	return p.Store().Get(key, off, length)
+}
+
+// Locate returns the provider ID that holds the key.
+func (r *Router) Locate(key chunk.Key) (ID, bool) {
+	r.place.mu.RLock()
+	defer r.place.mu.RUnlock()
+	id, ok := r.place.m[key]
+	return id, ok
+}

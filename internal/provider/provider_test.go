@@ -1,0 +1,201 @@
+package provider
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/iosim"
+)
+
+func TestAllocateRoundRobin(t *testing.T) {
+	m := NewManager()
+	for i := 0; i < 3; i++ {
+		m.Register(New(ID(i), chunk.NewMemStore(nil)))
+	}
+	var seq []ID
+	for i := 0; i < 6; i++ {
+		p, err := m.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, p.ID())
+	}
+	want := []ID{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("allocation order %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestAllocateEmpty(t *testing.T) {
+	m := NewManager()
+	if _, err := m.Allocate(); !errors.Is(err, ErrNoProviders) {
+		t.Fatalf("err = %v, want ErrNoProviders", err)
+	}
+	if _, err := m.AllocateN(3); !errors.Is(err, ErrNoProviders) {
+		t.Fatalf("AllocateN err = %v", err)
+	}
+}
+
+func TestAllocateNBalances(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	ps, err := m.AllocateN(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[ID]int{}
+	for _, p := range ps {
+		counts[p.ID()]++
+	}
+	for id, c := range counts {
+		if c != 2 {
+			t.Fatalf("provider %d got %d allocations, want 2", id, c)
+		}
+	}
+	for _, p := range m.Providers() {
+		if p.Allocated() != 2 {
+			t.Fatalf("provider %d Allocated = %d", p.ID(), p.Allocated())
+		}
+	}
+}
+
+func TestConcurrentAllocationBalance(t *testing.T) {
+	const providers = 8
+	const rounds = 100
+	m, _ := NewPool(providers, iosim.CostModel{})
+	var wg sync.WaitGroup
+	for g := 0; g < providers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := m.Allocate(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Round-robin under concurrency must stay perfectly balanced.
+	for _, p := range m.Providers() {
+		if p.Allocated() != rounds {
+			t.Fatalf("provider %d Allocated = %d, want %d", p.ID(), p.Allocated(), rounds)
+		}
+	}
+}
+
+func TestRouterPutGet(t *testing.T) {
+	m, _ := NewPool(3, iosim.CostModel{})
+	r := NewRouter(m)
+	key := chunk.Key{Blob: 1, Version: 5, Index: 0}
+	id, err := r.Put(key, []byte("routed data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, ok := r.Locate(key)
+	if !ok || gotID != id {
+		t.Fatalf("Locate = %d,%v want %d", gotID, ok, id)
+	}
+	data, err := r.Get(key, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "data" {
+		t.Fatalf("Get = %q", data)
+	}
+}
+
+func TestRouterGetUnknown(t *testing.T) {
+	r := NewRouter(NewManager())
+	if _, err := r.Get(chunk.Key{Blob: 1}, 0, 1); !errors.Is(err, chunk.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRouterDistributesChunks(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	r := NewRouter(m)
+	for i := 0; i < 16; i++ {
+		key := chunk.Key{Blob: 1, Version: 1, Index: uint32(i)}
+		if _, err := r.Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range m.Providers() {
+		if got := p.Store().Count(); got != 4 {
+			t.Fatalf("provider %d holds %d chunks, want 4", p.ID(), got)
+		}
+	}
+	// Every chunk must still be readable through the router.
+	for i := 0; i < 16; i++ {
+		key := chunk.Key{Blob: 1, Version: 1, Index: uint32(i)}
+		got, err := r.Get(key, 0, 1)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("chunk %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestNewPoolMeters(t *testing.T) {
+	m, meters := NewPool(2, iosim.CostModel{})
+	if m.Count() != 2 || len(meters) != 2 {
+		t.Fatalf("pool size mismatch: %d providers, %d meters", m.Count(), len(meters))
+	}
+	r := NewRouter(m)
+	if _, err := r.Put(chunk.Key{Blob: 1}, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	total := meters[0].Stats().Bytes + meters[1].Stats().Bytes
+	if total != 10 {
+		t.Fatalf("metered bytes = %d, want 10", total)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if RoundRobin.String() != "roundrobin" || Random.String() != "random" || LeastLoaded.String() != "leastloaded" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestRandomPolicyCoversAllProviders(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	m.SetPolicy(Random)
+	if m.Policy() != Random {
+		t.Fatal("policy not set")
+	}
+	for i := 0; i < 400; i++ {
+		if _, err := m.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range m.Providers() {
+		if p.Allocated() == 0 {
+			t.Fatalf("provider %d never allocated under random policy", p.ID())
+		}
+	}
+}
+
+func TestLeastLoadedBalances(t *testing.T) {
+	m, _ := NewPool(3, iosim.CostModel{})
+	m.SetPolicy(LeastLoaded)
+	// Pre-load provider 0 heavily by hand.
+	m.Providers()[0].allocated.Store(100)
+	for i := 0; i < 60; i++ {
+		p, err := m.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID() == 0 {
+			t.Fatal("least-loaded must avoid the overloaded provider")
+		}
+	}
+	// Providers 1 and 2 should have ~30 each.
+	if m.Providers()[1].Allocated() < 20 || m.Providers()[2].Allocated() < 20 {
+		t.Fatalf("least-loaded imbalance: %d / %d",
+			m.Providers()[1].Allocated(), m.Providers()[2].Allocated())
+	}
+}

@@ -1,0 +1,433 @@
+// Package remote exposes the storage services over TCP using the
+// standard library's net/rpc with gob encoding, so the
+// BlobSeer-equivalent service can run as real distributed processes
+// (cmd/blobseerd) while clients use the same blob.Services interfaces
+// as the in-process wiring. One server process can host any subset of
+// the three roles: version manager, metadata provider, data provider.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+
+	"repro/internal/blob"
+	"repro/internal/chunk"
+	"repro/internal/extent"
+	"repro/internal/metadata"
+	"repro/internal/provider"
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+// Service names registered with net/rpc.
+const (
+	vmService   = "VM"
+	metaService = "Meta"
+	dataService = "Data"
+)
+
+// --- Version manager service ---
+
+// VMServer exposes a vmanager.Manager over RPC.
+type VMServer struct {
+	M *vmanager.Manager
+}
+
+// CreateBlobArgs carries blob creation parameters.
+type CreateBlobArgs struct {
+	Blob uint64
+	Geo  segtree.Geometry
+}
+
+// CreateBlob RPC.
+func (s *VMServer) CreateBlob(a *CreateBlobArgs, _ *struct{}) error {
+	return s.M.CreateBlob(a.Blob, a.Geo)
+}
+
+// GeometryArgs selects a blob.
+type GeometryArgs struct{ Blob uint64 }
+
+// Geometry RPC.
+func (s *VMServer) Geometry(a *GeometryArgs, reply *segtree.Geometry) error {
+	g, err := s.M.Geometry(a.Blob)
+	if err != nil {
+		return err
+	}
+	*reply = g
+	return nil
+}
+
+// TicketArgs requests a write ticket.
+type TicketArgs struct {
+	Blob    uint64
+	Extents extent.List
+}
+
+// AssignTicket RPC.
+func (s *VMServer) AssignTicket(a *TicketArgs, reply *vmanager.Ticket) error {
+	tk, err := s.M.AssignTicket(a.Blob, a.Extents)
+	if err != nil {
+		return err
+	}
+	*reply = tk
+	return nil
+}
+
+// CompleteArgs reports a finished snapshot.
+type CompleteArgs struct {
+	Blob    uint64
+	Version uint64
+	Root    segtree.NodeKey
+}
+
+// Complete RPC.
+func (s *VMServer) Complete(a *CompleteArgs, _ *struct{}) error {
+	return s.M.Complete(a.Blob, a.Version, a.Root)
+}
+
+// Abort RPC.
+func (s *VMServer) Abort(a *CompleteArgs, _ *struct{}) error {
+	return s.M.Abort(a.Blob, a.Version)
+}
+
+// WaitArgs blocks for publication.
+type WaitArgs struct {
+	Blob    uint64
+	Version uint64
+}
+
+// WaitPublished RPC.
+func (s *VMServer) WaitPublished(a *WaitArgs, _ *struct{}) error {
+	return s.M.WaitPublished(a.Blob, a.Version)
+}
+
+// LatestPublished RPC.
+func (s *VMServer) LatestPublished(a *GeometryArgs, reply *vmanager.SnapshotInfo) error {
+	info, err := s.M.LatestPublished(a.Blob)
+	if err != nil {
+		return err
+	}
+	*reply = info
+	return nil
+}
+
+// SnapshotArgs selects a published version.
+type SnapshotArgs struct {
+	Blob    uint64
+	Version uint64
+}
+
+// Snapshot RPC.
+func (s *VMServer) Snapshot(a *SnapshotArgs, reply *vmanager.SnapshotInfo) error {
+	info, err := s.M.Snapshot(a.Blob, a.Version)
+	if err != nil {
+		return err
+	}
+	*reply = info
+	return nil
+}
+
+// Versions RPC.
+func (s *VMServer) Versions(a *GeometryArgs, reply *[]uint64) error {
+	vs, err := s.M.Versions(a.Blob)
+	if err != nil {
+		return err
+	}
+	*reply = vs
+	return nil
+}
+
+// --- Metadata service ---
+
+// MetaServer exposes a metadata.Store over RPC.
+type MetaServer struct {
+	S *metadata.Store
+}
+
+// NodeArgs addresses one metadata node.
+type NodeArgs struct {
+	Blob uint64
+	Key  segtree.NodeKey
+	Node *segtree.Node // for puts
+}
+
+// NodeReply returns a node and whether it exists.
+type NodeReply struct {
+	Node  *segtree.Node
+	Found bool
+}
+
+// PutNode RPC.
+func (s *MetaServer) PutNode(a *NodeArgs, _ *struct{}) error {
+	return s.S.PutNode(a.Blob, a.Key, a.Node)
+}
+
+// GetNode RPC.
+func (s *MetaServer) GetNode(a *NodeArgs, reply *NodeReply) error {
+	n, err := s.S.GetNode(a.Blob, a.Key)
+	if err != nil {
+		return err
+	}
+	reply.Node = n
+	reply.Found = true
+	return nil
+}
+
+// TryGetNode RPC.
+func (s *MetaServer) TryGetNode(a *NodeArgs, reply *NodeReply) error {
+	n, ok, err := s.S.TryGetNode(a.Blob, a.Key)
+	if err != nil {
+		return err
+	}
+	reply.Node = n
+	reply.Found = ok
+	return nil
+}
+
+// --- Data service ---
+
+// DataServer exposes a provider.Router over RPC.
+type DataServer struct {
+	R *provider.Router
+}
+
+// PutChunkArgs stores one chunk.
+type PutChunkArgs struct {
+	Key  chunk.Key
+	Data []byte
+}
+
+// PutChunk RPC.
+func (s *DataServer) PutChunk(a *PutChunkArgs, reply *provider.ID) error {
+	id, err := s.R.Put(a.Key, a.Data)
+	if err != nil {
+		return err
+	}
+	*reply = id
+	return nil
+}
+
+// GetChunkArgs reads a chunk sub-range.
+type GetChunkArgs struct {
+	Key         chunk.Key
+	Off, Length int64
+}
+
+// GetChunk RPC.
+func (s *DataServer) GetChunk(a *GetChunkArgs, reply *[]byte) error {
+	data, err := s.R.Get(a.Key, a.Off, a.Length)
+	if err != nil {
+		return err
+	}
+	*reply = data
+	return nil
+}
+
+// --- Node (server process) ---
+
+// Roles selects which services a node hosts.
+type Roles struct {
+	VM   *vmanager.Manager
+	Meta *metadata.Store
+	Data *provider.Router
+}
+
+// Node is one running storage-service process.
+type Node struct {
+	lis net.Listener
+	srv *rpc.Server
+}
+
+// Listen starts serving the given roles on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, roles Roles) (*Node, error) {
+	if roles.VM == nil && roles.Meta == nil && roles.Data == nil {
+		return nil, errors.New("remote: node must host at least one role")
+	}
+	srv := rpc.NewServer()
+	if roles.VM != nil {
+		if err := srv.RegisterName(vmService, &VMServer{M: roles.VM}); err != nil {
+			return nil, err
+		}
+	}
+	if roles.Meta != nil {
+		if err := srv.RegisterName(metaService, &MetaServer{S: roles.Meta}); err != nil {
+			return nil, err
+		}
+	}
+	if roles.Data != nil {
+		if err := srv.RegisterName(dataService, &DataServer{R: roles.Data}); err != nil {
+			return nil, err
+		}
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	n := &Node{lis: lis, srv: srv}
+	go n.acceptLoop()
+	return n, nil
+}
+
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go n.srv.ServeConn(conn)
+	}
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.lis.Addr().String() }
+
+// Close stops the node.
+func (n *Node) Close() error { return n.lis.Close() }
+
+// --- Client ---
+
+// Client talks to remote service nodes and implements the client-side
+// service interfaces (blob.VersionService, segtree.NodeStore,
+// blob.DataService).
+type Client struct {
+	vm   *rpc.Client
+	meta *rpc.Client
+	data *rpc.Client
+}
+
+// Endpoints names the service addresses a client needs. Any subset may
+// point at the same node.
+type Endpoints struct {
+	VM   string
+	Meta string
+	Data string
+}
+
+// Dial connects to all three endpoints.
+func Dial(ep Endpoints) (*Client, error) {
+	c := &Client{}
+	var err error
+	if c.vm, err = rpc.Dial("tcp", ep.VM); err != nil {
+		return nil, fmt.Errorf("remote: dial vm %s: %w", ep.VM, err)
+	}
+	if c.meta, err = rpc.Dial("tcp", ep.Meta); err != nil {
+		c.vm.Close()
+		return nil, fmt.Errorf("remote: dial meta %s: %w", ep.Meta, err)
+	}
+	if c.data, err = rpc.Dial("tcp", ep.Data); err != nil {
+		c.vm.Close()
+		c.meta.Close()
+		return nil, fmt.Errorf("remote: dial data %s: %w", ep.Data, err)
+	}
+	return c, nil
+}
+
+// Close terminates all connections.
+func (c *Client) Close() error {
+	return errors.Join(c.vm.Close(), c.meta.Close(), c.data.Close())
+}
+
+// Services assembles the blob.Services facade over this client.
+func (c *Client) Services() blob.Services {
+	return blob.Services{VM: c, Meta: c, Data: c}
+}
+
+var (
+	_ blob.VersionService = (*Client)(nil)
+	_ segtree.NodeStore   = (*Client)(nil)
+	_ blob.DataService    = (*Client)(nil)
+)
+
+// CreateBlob implements blob.VersionService.
+func (c *Client) CreateBlob(blobID uint64, geo segtree.Geometry) error {
+	return c.vm.Call(vmService+".CreateBlob", &CreateBlobArgs{Blob: blobID, Geo: geo}, &struct{}{})
+}
+
+// Geometry implements blob.VersionService.
+func (c *Client) Geometry(blobID uint64) (segtree.Geometry, error) {
+	var g segtree.Geometry
+	err := c.vm.Call(vmService+".Geometry", &GeometryArgs{Blob: blobID}, &g)
+	return g, err
+}
+
+// AssignTicket implements blob.VersionService.
+func (c *Client) AssignTicket(blobID uint64, e extent.List) (vmanager.Ticket, error) {
+	var tk vmanager.Ticket
+	err := c.vm.Call(vmService+".AssignTicket", &TicketArgs{Blob: blobID, Extents: e}, &tk)
+	return tk, err
+}
+
+// Complete implements blob.VersionService.
+func (c *Client) Complete(blobID, v uint64, root segtree.NodeKey) error {
+	return c.vm.Call(vmService+".Complete", &CompleteArgs{Blob: blobID, Version: v, Root: root}, &struct{}{})
+}
+
+// Abort implements blob.VersionService.
+func (c *Client) Abort(blobID, v uint64) error {
+	return c.vm.Call(vmService+".Abort", &CompleteArgs{Blob: blobID, Version: v}, &struct{}{})
+}
+
+// WaitPublished implements blob.VersionService.
+func (c *Client) WaitPublished(blobID, v uint64) error {
+	return c.vm.Call(vmService+".WaitPublished", &WaitArgs{Blob: blobID, Version: v}, &struct{}{})
+}
+
+// LatestPublished implements blob.VersionService.
+func (c *Client) LatestPublished(blobID uint64) (vmanager.SnapshotInfo, error) {
+	var info vmanager.SnapshotInfo
+	err := c.vm.Call(vmService+".LatestPublished", &GeometryArgs{Blob: blobID}, &info)
+	return info, err
+}
+
+// Snapshot implements blob.VersionService.
+func (c *Client) Snapshot(blobID, v uint64) (vmanager.SnapshotInfo, error) {
+	var info vmanager.SnapshotInfo
+	err := c.vm.Call(vmService+".Snapshot", &SnapshotArgs{Blob: blobID, Version: v}, &info)
+	return info, err
+}
+
+// Versions implements blob.VersionService.
+func (c *Client) Versions(blobID uint64) ([]uint64, error) {
+	var vs []uint64
+	err := c.vm.Call(vmService+".Versions", &GeometryArgs{Blob: blobID}, &vs)
+	return vs, err
+}
+
+// PutNode implements segtree.NodeStore.
+func (c *Client) PutNode(blobID uint64, key segtree.NodeKey, n *segtree.Node) error {
+	return c.meta.Call(metaService+".PutNode", &NodeArgs{Blob: blobID, Key: key, Node: n}, &struct{}{})
+}
+
+// GetNode implements segtree.NodeStore.
+func (c *Client) GetNode(blobID uint64, key segtree.NodeKey) (*segtree.Node, error) {
+	var reply NodeReply
+	if err := c.meta.Call(metaService+".GetNode", &NodeArgs{Blob: blobID, Key: key}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Node, nil
+}
+
+// TryGetNode implements segtree.NodeStore.
+func (c *Client) TryGetNode(blobID uint64, key segtree.NodeKey) (*segtree.Node, bool, error) {
+	var reply NodeReply
+	if err := c.meta.Call(metaService+".TryGetNode", &NodeArgs{Blob: blobID, Key: key}, &reply); err != nil {
+		return nil, false, err
+	}
+	return reply.Node, reply.Found, nil
+}
+
+// Put implements blob.DataService.
+func (c *Client) Put(key chunk.Key, data []byte) (provider.ID, error) {
+	var id provider.ID
+	err := c.data.Call(dataService+".PutChunk", &PutChunkArgs{Key: key, Data: data}, &id)
+	return id, err
+}
+
+// Get implements blob.DataService.
+func (c *Client) Get(key chunk.Key, off, length int64) ([]byte, error) {
+	var data []byte
+	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length}, &data)
+	return data, err
+}

@@ -1,0 +1,245 @@
+package remote
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/chunk"
+	"repro/internal/extent"
+	"repro/internal/iosim"
+	"repro/internal/metadata"
+	"repro/internal/provider"
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+// startNode boots a single node hosting all roles on a loopback port.
+func startNode(t *testing.T) (*Node, Endpoints) {
+	t.Helper()
+	mgr, _ := provider.NewPool(3, iosim.CostModel{})
+	node, err := Listen("127.0.0.1:0", Roles{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: provider.NewRouter(mgr),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	addr := node.Addr()
+	return node, Endpoints{VM: addr, Meta: addr, Data: addr}
+}
+
+func dialClient(t *testing.T, ep Endpoints) *Client {
+	t.Helper()
+	c, err := Dial(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", Roles{}); err == nil {
+		t.Fatal("empty roles must fail")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial(Endpoints{VM: "127.0.0.1:1", Meta: "127.0.0.1:1", Data: "127.0.0.1:1"}); err == nil {
+		t.Fatal("dialing a closed port must fail")
+	}
+}
+
+func TestRemoteBlobRoundTrip(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+	b, err := blob.Create(c.Services(), 1, segtree.Geometry{Capacity: 1 << 16, Page: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("bytes over tcp")
+	v, err := b.Write(1000, data, blob.WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadAt(v, 1000, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read = %q", got)
+	}
+}
+
+func TestRemoteNonContiguousAtomicWrite(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+	b, err := blob.Create(c.Services(), 1, segtree.Geometry{Capacity: 1 << 16, Page: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := extent.List{{Offset: 0, Length: 300}, {Offset: 4096, Length: 300}}
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer uses its own connection, like a real client.
+			cw, err := Dial(ep)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cw.Close()
+			bw, err := blob.Open(cw.Services(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := bytes.Repeat([]byte{byte(w + 1)}, int(l.TotalLength()))
+			vec, _ := extent.NewVec(l, buf)
+			if _, err := bw.WriteList(vec, blob.WriteOptions{}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, _, err := b.ReadLatest(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := got[0]
+	for i, x := range got {
+		if x != first {
+			t.Fatalf("atomicity violated over RPC: byte %d = %d, want %d", i, x, first)
+		}
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+	// Reading an unknown blob must surface the server-side error text.
+	_, err := c.LatestPublished(42)
+	if err == nil || !strings.Contains(err.Error(), "unknown blob") {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown chunk.
+	_, err = c.Get(chunk.Key{Blob: 9}, 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("chunk err = %v", err)
+	}
+}
+
+func TestRemoteMetadataNodes(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+	key := segtree.NodeKey{Version: 1, Offset: 0, Size: 512}
+	n := &segtree.Node{Leaf: true, Frags: []segtree.Fragment{{
+		Ext: extent.Extent{Offset: 0, Length: 8},
+		Ref: chunk.Ref{Key: chunk.Key{Blob: 1, Version: 1}, Length: 8},
+	}}}
+	if err := c.PutNode(1, key, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetNode(1, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Leaf || len(got.Frags) != 1 || got.Frags[0].Ext.Length != 8 {
+		t.Fatalf("node = %+v", got)
+	}
+	_, found, err := c.TryGetNode(1, segtree.NodeKey{Version: 99, Size: 512})
+	if err != nil || found {
+		t.Fatalf("TryGetNode = %v %v", found, err)
+	}
+}
+
+func TestSplitRoleNodes(t *testing.T) {
+	// Version manager, metadata and data on three separate processes.
+	vmNode, err := Listen("127.0.0.1:0", Roles{VM: vmanager.New(iosim.CostModel{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vmNode.Close()
+	metaNode, err := Listen("127.0.0.1:0", Roles{Meta: metadata.NewStore(4, iosim.CostModel{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metaNode.Close()
+	mgr, _ := provider.NewPool(2, iosim.CostModel{})
+	dataNode, err := Listen("127.0.0.1:0", Roles{Data: provider.NewRouter(mgr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dataNode.Close()
+
+	c, err := Dial(Endpoints{VM: vmNode.Addr(), Meta: metaNode.Addr(), Data: dataNode.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	b, err := blob.Create(c.Services(), 1, segtree.Geometry{Capacity: 1 << 14, Page: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Write(0, []byte("split roles"), blob.WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadAt(v, 0, 11)
+	if err != nil || string(got) != "split roles" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestVersionsOverRPC(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+	b, err := blob.Create(c.Services(), 1, segtree.Geometry{Capacity: 1 << 14, Page: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Write(int64(i*100), []byte{byte(i)}, blob.WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs, err := b.Versions()
+	if err != nil || len(vs) != 4 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+	geo, err := c.Geometry(1)
+	if err != nil || geo.Page != 256 {
+		t.Fatalf("geometry = %+v, %v", geo, err)
+	}
+}
+
+func TestAbortOverRPC(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+	if err := c.CreateBlob(1, segtree.Geometry{Capacity: 1 << 14, Page: 256}); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := c.AssignTicket(1, extent.List{{Offset: 0, Length: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Abort(1, tk.Version); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.LatestPublished(1)
+	if err != nil || info.Version != tk.Version {
+		t.Fatalf("aborted version not published: %+v, %v", info, err)
+	}
+	// Aborting twice must surface the server-side error.
+	if err := c.Abort(1, tk.Version); err == nil {
+		t.Fatal("double abort must fail")
+	}
+}

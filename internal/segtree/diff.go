@@ -1,0 +1,185 @@
+package segtree
+
+import (
+	"repro/internal/chunk"
+	"repro/internal/extent"
+)
+
+// Diff computes the byte ranges whose contents may differ between two
+// snapshots, exploiting shadowing: subtrees shared by both versions
+// (identical node keys) are skipped without being fetched, so the cost
+// is proportional to the metadata that actually changed, not to the
+// blob size. This is the primitive behind application-level versioning
+// consumers (the paper's future-work direction): a visualization
+// pipeline can fetch exactly what changed between two timesteps.
+//
+// The result is normalized and conservative: every changed byte is
+// included; an included byte may compare equal if a writer rewrote it
+// with identical data.
+func (t *Tree) Diff(a, b NodeKey) (extent.List, error) {
+	var out extent.List
+	var walk func(a, b NodeKey) error
+	walk = func(a, b NodeKey) error {
+		if a == b {
+			return nil // shared subtree: nothing changed below
+		}
+		if a.IsZero() || b.IsZero() {
+			// Present on one side only: exactly the bytes that side
+			// covers may differ (the other side reads them as holes).
+			k := a
+			if k.IsZero() {
+				k = b
+			}
+			cov, err := t.covered(k)
+			if err != nil {
+				return err
+			}
+			out = append(out, cov...)
+			return nil
+		}
+		// Keys differ but cover the same range by construction of the
+		// tree; compare children (or fragments for leaves).
+		na, err := t.Store.GetNode(t.Blob, a)
+		if err != nil {
+			return err
+		}
+		nb, err := t.Store.GetNode(t.Blob, b)
+		if err != nil {
+			return err
+		}
+		if na.Leaf || nb.Leaf {
+			if !na.Leaf || !nb.Leaf {
+				out = append(out, a.Range())
+				return nil
+			}
+			out = append(out, diffLeaves(a.Range(), na, nb)...)
+			return nil
+		}
+		if err := walk(na.Left, nb.Left); err != nil {
+			return err
+		}
+		return walk(na.Right, nb.Right)
+	}
+	if err := walk(a, b); err != nil {
+		return nil, err
+	}
+	return out.Normalize(), nil
+}
+
+// covered returns the byte ranges actually backed by data anywhere in
+// the subtree rooted at key (resolving leaf chains).
+func (t *Tree) covered(key NodeKey) (extent.List, error) {
+	if key.IsZero() {
+		return nil, nil
+	}
+	n, err := t.Store.GetNode(t.Blob, key)
+	if err != nil {
+		return nil, err
+	}
+	if n.Leaf {
+		cov := coverage(n.Frags)
+		for !n.Prev.IsZero() {
+			n, err = t.Store.GetNode(t.Blob, n.Prev)
+			if err != nil {
+				return nil, err
+			}
+			cov = cov.Union(coverage(n.Frags))
+		}
+		return cov, nil
+	}
+	left, err := t.covered(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := t.covered(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	return append(left, right...), nil
+}
+
+// diffLeaves compares two leaves covering the same page. Fragments
+// referencing the same chunk sub-ranges are unchanged; everything else
+// is reported. Chained leaves are handled conservatively: if either
+// leaf has a chain, the page's covered ranges are compared by
+// reference only when both fragment lists are flat.
+func diffLeaves(page extent.Extent, a, b *Node) extent.List {
+	if !a.Prev.IsZero() || !b.Prev.IsZero() {
+		if a.Prev == b.Prev && fragmentsEqual(a.Frags, b.Frags) {
+			return nil
+		}
+		return extent.List{page}
+	}
+	if fragmentsEqual(a.Frags, b.Frags) {
+		return nil
+	}
+	// Report ranges whose backing reference changed, plus ranges
+	// covered on one side only.
+	var out extent.List
+	ca := coverage(a.Frags)
+	cb := coverage(b.Frags)
+	// Symmetric difference of coverage changed by definition.
+	out = append(out, ca.Subtract(cb)...)
+	out = append(out, cb.Subtract(ca)...)
+	// Common coverage: changed where the refs disagree byte-for-byte.
+	common := ca.Intersect(cb)
+	for _, ext := range common {
+		for off := ext.Offset; off < ext.End(); {
+			ra, la := refAt(a.Frags, off)
+			rb, lb := refAt(b.Frags, off)
+			n := min64(la, lb)
+			if n <= 0 {
+				n = 1
+			}
+			if n > ext.End()-off {
+				n = ext.End() - off
+			}
+			if ra != rb {
+				out = append(out, extent.Extent{Offset: off, Length: n})
+			}
+			off += n
+		}
+	}
+	return out
+}
+
+// coverage returns the byte ranges a fragment list covers.
+func coverage(frags []Fragment) extent.List {
+	out := make(extent.List, 0, len(frags))
+	for _, f := range frags {
+		out = append(out, f.Ext)
+	}
+	return out.Normalize()
+}
+
+// refAt resolves which chunk sub-range backs the byte at off and how
+// many bytes of that backing remain from off; a zero ref means
+// uncovered.
+func refAt(frags []Fragment, off int64) (ref chunk.Ref, remaining int64) {
+	for _, f := range frags {
+		if f.Ext.Contains(off) {
+			delta := off - f.Ext.Offset
+			return chunk.Ref{Key: f.Ref.Key, Offset: f.Ref.Offset + delta, Length: 1}, f.Ext.End() - off
+		}
+	}
+	return chunk.Ref{}, 0
+}
+
+func fragmentsEqual(a, b []Fragment) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

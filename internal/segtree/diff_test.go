@@ -1,0 +1,220 @@
+package segtree_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/extent"
+	"repro/internal/metadata"
+	"repro/internal/segtree"
+)
+
+// diffHarness reuses the write harness and exposes Diff by root keys.
+func (h *harness) diff(va, vb uint64) extent.List {
+	h.t.Helper()
+	ia, err := h.mgr.Snapshot(h.blob, va)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	ib, err := h.mgr.Snapshot(h.blob, vb)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	d, err := h.tree.Diff(ia.Root, ib.Root)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiffIdenticalVersions(t *testing.T) {
+	h := newHarness(t, segtree.Geometry{Capacity: 1024, Page: 64})
+	v := h.write(vec(t, extent.List{{Offset: 0, Length: 128}}, 1))
+	if d := h.diff(v, v); len(d) != 0 {
+		t.Fatalf("diff of a version with itself = %v", d)
+	}
+}
+
+func TestDiffDisjointWrites(t *testing.T) {
+	h := newHarness(t, segtree.Geometry{Capacity: 1024, Page: 64})
+	v1 := h.write(vec(t, extent.List{{Offset: 0, Length: 64}}, 1))
+	v2 := h.write(vec(t, extent.List{{Offset: 512, Length: 64}}, 2))
+	d := h.diff(v1, v2)
+	// Only the second write's range may differ.
+	want := extent.List{{Offset: 512, Length: 64}}
+	if !d.Equal(want) {
+		t.Fatalf("diff = %v, want %v", d, want)
+	}
+}
+
+func TestDiffAgainstEmptySnapshot(t *testing.T) {
+	h := newHarness(t, segtree.Geometry{Capacity: 1024, Page: 64})
+	v1 := h.write(vec(t, extent.List{{Offset: 100, Length: 50}}, 1))
+	d := h.diff(0, v1)
+	// Everything the write touched must be reported; the diff may be
+	// page-conservative but must cover the write and nothing outside
+	// its pages.
+	written := extent.List{{Offset: 100, Length: 50}}
+	if !written.CoveredBy(d) {
+		t.Fatalf("diff %v does not cover write %v", d, written)
+	}
+	pages := extent.List{{Offset: 64, Length: 128}} // pages 1..2
+	if !d.CoveredBy(pages) {
+		t.Fatalf("diff %v exceeds touched pages %v", d, pages)
+	}
+}
+
+func TestDiffOverwriteSameRange(t *testing.T) {
+	h := newHarness(t, segtree.Geometry{Capacity: 1024, Page: 64})
+	l := extent.List{{Offset: 0, Length: 64}}
+	v1 := h.write(vec(t, l, 1))
+	v2 := h.write(vec(t, l, 2))
+	d := h.diff(v1, v2)
+	if !l.CoveredBy(d) {
+		t.Fatalf("diff %v must cover the overwritten range", d)
+	}
+	if !d.CoveredBy(l) {
+		t.Fatalf("diff %v reports untouched bytes", d)
+	}
+}
+
+func TestDiffSharedSubtreesSkipped(t *testing.T) {
+	// Write a large region once, then a tiny region; the diff between
+	// the two versions must be small even though the file is large.
+	h := newHarness(t, segtree.Geometry{Capacity: 1 << 16, Page: 64})
+	v1 := h.write(vec(t, extent.List{{Offset: 0, Length: 1 << 16}}, 1))
+	v2 := h.write(vec(t, extent.List{{Offset: 4096, Length: 16}}, 2))
+	store := h.tree.Store.(*metadata.Store)
+	before := store.Meters()[0].Stats().Ops
+	for _, m := range store.Meters()[1:] {
+		before += m.Stats().Ops
+	}
+	d := h.diff(v1, v2)
+	after := int64(0)
+	for _, m := range store.Meters() {
+		after += m.Stats().Ops
+	}
+	want := extent.List{{Offset: 4096, Length: 16}}
+	if !want.CoveredBy(d) || !d.CoveredBy(extent.List{{Offset: 4096, Length: 64}}) {
+		t.Fatalf("diff = %v", d)
+	}
+	// The walk must fetch only the changed path, not the whole tree
+	// (tree has 1024 leaves; the path is ~11 nodes per version).
+	if fetched := after - before; fetched > 64 {
+		t.Fatalf("diff fetched %d nodes; shadowing not exploited", fetched)
+	}
+}
+
+func TestDiffPartialPageOverwrite(t *testing.T) {
+	h := newHarness(t, segtree.Geometry{Capacity: 256, Page: 64})
+	v1 := h.write(vec(t, extent.List{{Offset: 0, Length: 64}}, 1))
+	v2 := h.write(vec(t, extent.List{{Offset: 16, Length: 8}}, 2))
+	d := h.diff(v1, v2)
+	changed := extent.List{{Offset: 16, Length: 8}}
+	if !changed.CoveredBy(d) {
+		t.Fatalf("diff %v misses the overwrite", d)
+	}
+	if !d.CoveredBy(extent.List{{Offset: 0, Length: 64}}) {
+		t.Fatalf("diff %v reports bytes outside the touched page", d)
+	}
+}
+
+// TestPropDiffCoversRealChanges: for random version pairs, every byte
+// whose content differs between the snapshots must be inside the diff.
+func TestPropDiffCoversRealChanges(t *testing.T) {
+	const space = 512
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := newHarness(t, segtree.Geometry{Capacity: space, Page: 32})
+		images := [][]byte{make([]byte, space)}
+		for round := 1; round <= 8; round++ {
+			var l extent.List
+			n := r.Intn(3) + 1
+			for i := 0; i < n; i++ {
+				off := int64(r.Intn(space - 1))
+				length := int64(r.Intn(space-int(off)-1) + 1)
+				l = append(l, extent.Extent{Offset: off, Length: length})
+			}
+			l = l.Normalize()
+			buf := make([]byte, l.TotalLength())
+			for i := range buf {
+				buf[i] = byte(round*16 + r.Intn(16))
+			}
+			v, err := extent.NewVec(l, buf)
+			if err != nil {
+				return false
+			}
+			h.write(v)
+			img := make([]byte, space)
+			copy(img, images[round-1])
+			v.ScatterInto(img, 0)
+			images = append(images, img)
+		}
+		va := uint64(r.Intn(9))
+		vb := uint64(r.Intn(9))
+		d := h.diff(va, vb)
+		for off := int64(0); off < space; off++ {
+			if images[va][off] != images[vb][off] {
+				if !d.IntersectsExtent(extent.Extent{Offset: off, Length: 1}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeafChainResolution forces the Prev-chain path: build version 2
+// referencing a predecessor leaf that is stored only afterwards, as
+// happens when the predecessor's writer is still in flight.
+func TestLeafChainResolution(t *testing.T) {
+	h := newHarness(t, segtree.Geometry{Capacity: 128, Page: 64})
+	// Assign ticket 1 but do NOT complete it yet (simulates in-flight
+	// writer); ticket 2 writes a different part of the same page.
+	tk1, err := h.mgr.AssignTicket(h.blob, extent.List{{Offset: 0, Length: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk2, err := h.mgr.AssignTicket(h.blob, extent.List{{Offset: 32, Length: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writer 2 builds FIRST: its leaf cannot merge the (missing)
+	// predecessor and must chain.
+	placed2 := h.place(tk2.Version, extent.List{{Offset: 32, Length: 16}}, 2)
+	root2, err := h.tree.Build(tk2.Version, placed2, tk2.Borrows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Now writer 1 builds and completes.
+	placed1 := h.place(tk1.Version, extent.List{{Offset: 0, Length: 16}}, 1)
+	root1, err := h.tree.Build(tk1.Version, placed1, tk1.Borrows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Complete(h.blob, tk1.Version, root1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mgr.Complete(h.blob, tk2.Version, root2); err != nil {
+		t.Fatal(err)
+	}
+	// Reading snapshot 2 must resolve the chain: bytes from both
+	// writers plus zero holes.
+	got := h.read(2, extent.List{{Offset: 0, Length: 64}})
+	for i := 0; i < 64; i++ {
+		want := byte(0)
+		switch {
+		case i < 16:
+			want = 1
+		case i >= 32 && i < 48:
+			want = 2
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %d, want %d (chain resolution broken)", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,550 @@
+// Package segtree implements the versioned segment tree that stores blob
+// metadata, following BlobSeer's shadowing design (Rodeh-style
+// copy-on-write B-tree adapted to a static binary partition of the blob
+// address space).
+//
+// The blob address space [0, Capacity) is covered by a complete binary
+// tree: every inner node covers a power-of-two multiple of the page
+// size and splits it in half; every leaf covers exactly one page. A
+// node is immutable and keyed by (version, offset, size): a write with
+// ticket v creates new nodes only along the paths from the root to the
+// pages it touches, and *borrows* every untouched sibling subtree from
+// the most recent earlier version that touched it. Snapshots therefore
+// share all unmodified metadata, which is what makes per-write
+// snapshots affordable.
+//
+// Leaves hold fragment lists — (byte range → chunk reference) overlays —
+// so partially overwritten pages never require read-modify-write of
+// data: the new leaf either merges the surviving fragments of its
+// predecessor (when the predecessor's metadata is already available) or
+// records a back-pointer chain that readers resolve newest-first. This
+// is the mechanism that lets concurrent writers of overlapping
+// non-contiguous regions proceed with zero synchronization on the data
+// path, as required by the paper.
+package segtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/extent"
+)
+
+// NodeKey identifies one immutable metadata node.
+type NodeKey struct {
+	Version uint64
+	Offset  int64
+	Size    int64
+}
+
+// IsZero reports whether the key is the hole sentinel (no node).
+func (k NodeKey) IsZero() bool { return k.Version == 0 }
+
+// Range returns the byte range the node covers.
+func (k NodeKey) Range() extent.Extent { return extent.Extent{Offset: k.Offset, Length: k.Size} }
+
+func (k NodeKey) String() string {
+	return fmt.Sprintf("v%d[%d,%d)", k.Version, k.Offset, k.Offset+k.Size)
+}
+
+// Fragment maps an absolute byte range of the blob to a sub-range of an
+// immutable chunk.
+type Fragment struct {
+	Ext extent.Extent
+	Ref chunk.Ref
+}
+
+// Node is one immutable metadata node. Inner nodes carry child keys;
+// leaves carry this version's fragments and an optional back-pointer to
+// the predecessor leaf (non-zero only when the predecessor could not be
+// merged at build time).
+type Node struct {
+	Leaf  bool
+	Left  NodeKey // inner only
+	Right NodeKey // inner only
+
+	Frags []Fragment // leaf only; sorted, non-overlapping
+	Prev  NodeKey    // leaf only; chain to predecessor leaf
+}
+
+// NodeStore is the metadata repository the tree reads and writes.
+// Implementations live in internal/metadata.
+type NodeStore interface {
+	// PutNode stores an immutable node.
+	PutNode(blob uint64, key NodeKey, n *Node) error
+	// GetNode returns a node or an error if it is missing.
+	GetNode(blob uint64, key NodeKey) (*Node, error)
+	// TryGetNode returns (node, true) if present, (nil, false) if the
+	// node is not (yet) stored. Used for the leaf-flattening
+	// optimization; it must never block.
+	TryGetNode(blob uint64, key NodeKey) (*Node, bool, error)
+}
+
+// Placed pairs an absolute byte range of the write with the chunk
+// sub-range that now holds its data.
+type Placed struct {
+	Ext extent.Extent
+	Ref chunk.Ref
+}
+
+// Geometry fixes the shape of a blob's tree.
+type Geometry struct {
+	Capacity int64 // total address space covered by the root; power-of-two multiple of Page
+	Page     int64 // leaf size
+}
+
+// Validate checks the geometry invariants.
+func (g Geometry) Validate() error {
+	if g.Page <= 0 {
+		return fmt.Errorf("segtree: page size %d must be positive", g.Page)
+	}
+	if g.Capacity < g.Page {
+		return fmt.Errorf("segtree: capacity %d smaller than page %d", g.Capacity, g.Page)
+	}
+	pages := g.Capacity / g.Page
+	if g.Capacity%g.Page != 0 || pages&(pages-1) != 0 {
+		return fmt.Errorf("segtree: capacity %d must be a power-of-two multiple of page %d", g.Capacity, g.Page)
+	}
+	return nil
+}
+
+// Root returns the range covered by the root node.
+func (g Geometry) Root() extent.Extent { return extent.Extent{Offset: 0, Length: g.Capacity} }
+
+// Borrows lists, for a write covering the normalized extent list e,
+// every tree range whose *latest prior version* the writer must learn
+// from the version manager: all untouched sibling subtrees along the
+// write's paths plus every touched leaf (whose predecessor feeds the
+// fragment chain). The version manager answers these at ticket time so
+// builders never synchronize with concurrent writers.
+func (g Geometry) Borrows(e extent.List) []extent.Extent {
+	var out []extent.Extent
+	var walk func(off, size int64)
+	walk = func(off, size int64) {
+		r := extent.Extent{Offset: off, Length: size}
+		if !e.IntersectsExtent(r) {
+			out = append(out, r)
+			return
+		}
+		if size == g.Page {
+			out = append(out, r)
+			return
+		}
+		half := size / 2
+		walk(off, half)
+		walk(off+half, half)
+	}
+	if len(e) > 0 {
+		walk(0, g.Capacity)
+	}
+	return out
+}
+
+// Tree provides the build (write) and resolve (read) operations over one
+// blob's metadata. Tree is stateless and safe for concurrent use; all
+// shared state lives in the NodeStore.
+type Tree struct {
+	Blob  uint64
+	Geo   Geometry
+	Store NodeStore
+}
+
+// ErrOutOfRange is returned when a write or read exceeds the capacity.
+var ErrOutOfRange = errors.New("segtree: access beyond blob capacity")
+
+// Build writes the metadata for update ticket v consisting of the given
+// placed pieces, using borrow answers from the version manager
+// (geometry range → latest prior version, 0 meaning never written).
+// It returns the new root key. Pieces must be sorted by offset,
+// non-overlapping, and must not cross page boundaries (use SplitPlaced).
+func (t *Tree) Build(v uint64, placed []Placed, borrows map[extent.Extent]uint64) (NodeKey, error) {
+	if len(placed) == 0 {
+		return NodeKey{}, errors.New("segtree: empty update")
+	}
+	el := make(extent.List, 0, len(placed))
+	for i, p := range placed {
+		if p.Ext.Offset < 0 || p.Ext.End() > t.Geo.Capacity {
+			return NodeKey{}, fmt.Errorf("%w: piece %v", ErrOutOfRange, p.Ext)
+		}
+		if p.Ext.Offset/t.Geo.Page != (p.Ext.End()-1)/t.Geo.Page {
+			return NodeKey{}, fmt.Errorf("segtree: piece %v crosses page boundary", p.Ext)
+		}
+		if i > 0 && placed[i-1].Ext.End() > p.Ext.Offset {
+			return NodeKey{}, fmt.Errorf("segtree: pieces unsorted or overlapping at %d", i)
+		}
+		el = append(el, p.Ext)
+	}
+	el = el.Normalize()
+
+	// Phase 1: plan the new tree in memory. Inner-node child keys are
+	// known immediately (new key if the child is touched, borrow key
+	// otherwise), so only leaves need store access.
+	type leafTask struct {
+		r      extent.Extent
+		pieces []Placed
+		prev   uint64
+	}
+	type pending struct {
+		key  NodeKey
+		node *Node
+	}
+	var leaves []leafTask
+	var leafKeys []NodeKey
+	var inners []pending
+	var plan func(off, size int64, pieces []Placed) NodeKey
+	plan = func(off, size int64, pieces []Placed) NodeKey {
+		r := extent.Extent{Offset: off, Length: size}
+		if len(pieces) == 0 {
+			w := borrows[r]
+			if w == 0 {
+				return NodeKey{}
+			}
+			return NodeKey{Version: w, Offset: off, Size: size}
+		}
+		key := NodeKey{Version: v, Offset: off, Size: size}
+		if size == t.Geo.Page {
+			leaves = append(leaves, leafTask{r: r, pieces: pieces, prev: borrows[r]})
+			leafKeys = append(leafKeys, key)
+			return key
+		}
+		half := size / 2
+		mid := off + half
+		split := 0
+		for split < len(pieces) && pieces[split].Ext.Offset < mid {
+			split++
+		}
+		lk := plan(off, half, pieces[:split])
+		rk := plan(mid, half, pieces[split:])
+		inners = append(inners, pending{key: key, node: &Node{Left: lk, Right: rk}})
+		return key
+	}
+	root := plan(0, t.Geo.Capacity, placed)
+
+	// Phase 2: build and store every node in parallel (BlobSeer's
+	// metadata is a DHT; node writes are independent and readers only
+	// see the tree after publication, so no ordering is required).
+	sem := make(chan struct{}, maxMetaParallel)
+	errs := make(chan error, len(leaves)+len(inners))
+	var wg sync.WaitGroup
+	for i := range leaves {
+		wg.Add(1)
+		go func(task leafTask, key NodeKey) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n, err := t.buildLeaf(v, task.r, task.pieces, task.prev)
+			if err == nil {
+				err = t.Store.PutNode(t.Blob, key, n)
+			}
+			if err != nil {
+				errs <- err
+			}
+		}(leaves[i], leafKeys[i])
+	}
+	for _, p := range inners {
+		wg.Add(1)
+		go func(p pending) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := t.Store.PutNode(t.Blob, p.key, p.node); err != nil {
+				errs <- err
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return NodeKey{}, err
+	}
+	return root, nil
+}
+
+// maxMetaParallel bounds a single write's in-flight metadata requests,
+// mimicking a client with a bounded request window.
+const maxMetaParallel = 64
+
+// BuildEmpty writes tombstone metadata for ticket v over the given
+// (normalized) extent list: every touched leaf gets an empty overlay
+// chained to its predecessor, so the snapshot reads identically to its
+// predecessor while still materializing every node that later writers
+// may have borrowed by version. This is how a failed write (chunk
+// store error after ticket assignment) retires its ticket without
+// stalling publication or leaving dangling references.
+func (t *Tree) BuildEmpty(v uint64, touched extent.List, borrows map[extent.Extent]uint64) (NodeKey, error) {
+	touched = touched.Normalize()
+	if len(touched) == 0 {
+		return NodeKey{}, errors.New("segtree: empty tombstone")
+	}
+	if b := touched.Bounding(); b.Offset < 0 || b.End() > t.Geo.Capacity {
+		return NodeKey{}, fmt.Errorf("%w: tombstone %v", ErrOutOfRange, b)
+	}
+	type pending struct {
+		key  NodeKey
+		node *Node
+	}
+	var nodes []pending
+	var plan func(off, size int64) NodeKey
+	plan = func(off, size int64) NodeKey {
+		r := extent.Extent{Offset: off, Length: size}
+		if !touched.IntersectsExtent(r) {
+			w := borrows[r]
+			if w == 0 {
+				return NodeKey{}
+			}
+			return NodeKey{Version: w, Offset: off, Size: size}
+		}
+		key := NodeKey{Version: v, Offset: off, Size: size}
+		if size == t.Geo.Page {
+			n := &Node{Leaf: true}
+			if prev := borrows[r]; prev != 0 {
+				n.Prev = NodeKey{Version: prev, Offset: off, Size: size}
+			}
+			nodes = append(nodes, pending{key: key, node: n})
+			return key
+		}
+		half := size / 2
+		lk := plan(off, half)
+		rk := plan(off+half, half)
+		nodes = append(nodes, pending{key: key, node: &Node{Left: lk, Right: rk}})
+		return key
+	}
+	root := plan(0, t.Geo.Capacity)
+	for _, p := range nodes {
+		if err := t.Store.PutNode(t.Blob, p.key, p.node); err != nil {
+			return NodeKey{}, err
+		}
+	}
+	return root, nil
+}
+
+// buildLeaf assembles the new leaf for page r: this write's fragments,
+// merged with the predecessor's surviving fragments when the
+// predecessor leaf is flat and already stored (the flattening
+// optimization); otherwise chained via Prev.
+func (t *Tree) buildLeaf(v uint64, r extent.Extent, pieces []Placed, prevVersion uint64) (*Node, error) {
+	frags := make([]Fragment, 0, len(pieces))
+	covered := make(extent.List, 0, len(pieces))
+	for _, p := range pieces {
+		frags = append(frags, Fragment{Ext: p.Ext, Ref: p.Ref})
+		covered = append(covered, p.Ext)
+	}
+	covered = covered.Normalize()
+
+	n := &Node{Leaf: true, Frags: frags}
+	if prevVersion == 0 {
+		return n, nil // first write to this page
+	}
+	if covered.Equal(extent.List{r}) {
+		return n, nil // page fully overwritten; predecessor invisible
+	}
+	prevKey := NodeKey{Version: prevVersion, Offset: r.Offset, Size: r.Length}
+	prev, ok, err := t.Store.TryGetNode(t.Blob, prevKey)
+	if err != nil {
+		return nil, err
+	}
+	if !ok || !prev.Prev.IsZero() {
+		// Predecessor missing (still in flight) or itself chained:
+		// keep the chain; readers resolve it newest-first.
+		n.Prev = prevKey
+		return n, nil
+	}
+	// Flatten: survivors are the predecessor fragments minus our
+	// coverage.
+	merged := overlayFragments(prev.Frags, frags, covered)
+	n.Frags = merged
+	return n, nil
+}
+
+// overlayFragments merges old fragments under new ones: every byte of
+// newCovered comes from newFrags, everything else survives from old.
+// The result is sorted and non-overlapping.
+func overlayFragments(old, newFrags []Fragment, newCovered extent.List) []Fragment {
+	out := make([]Fragment, 0, len(old)+len(newFrags))
+	for _, f := range old {
+		surviving := extent.List{f.Ext}.Subtract(newCovered)
+		for _, s := range surviving {
+			out = append(out, Fragment{
+				Ext: s,
+				Ref: chunk.Ref{
+					Key:    f.Ref.Key,
+					Offset: f.Ref.Offset + (s.Offset - f.Ext.Offset),
+					Length: s.Length,
+				},
+			})
+		}
+	}
+	out = append(out, newFrags...)
+	sortFragments(out)
+	return out
+}
+
+func sortFragments(fs []Fragment) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Ext.Offset < fs[j].Ext.Offset })
+}
+
+// Resolve walks the tree from root and maps every requested byte to the
+// chunk fragment holding it at that snapshot. Bytes never written are
+// returned in holes (and read as zero). The query list must be
+// normalized. Sub-tree walks run in parallel (bounded by
+// maxMetaParallel) so a wide read pays tree-depth round trips, not
+// node-count.
+func (t *Tree) Resolve(root NodeKey, query extent.List) (frags []Fragment, holes extent.List, err error) {
+	query = query.Normalize()
+	for _, q := range query {
+		if q.Offset < 0 || q.End() > t.Geo.Capacity {
+			return nil, nil, fmt.Errorf("%w: query %v", ErrOutOfRange, q)
+		}
+	}
+	if len(query) == 0 {
+		return nil, nil, nil
+	}
+	if root.IsZero() {
+		return nil, query.Clone(), nil
+	}
+
+	var mu sync.Mutex // guards frags, holes, firstErr
+	var firstErr error
+	sem := make(chan struct{}, maxMetaParallel)
+	var wg sync.WaitGroup
+
+	addHoles := func(q extent.List) {
+		mu.Lock()
+		holes = append(holes, q...)
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var walk func(key NodeKey, q extent.List)
+	walk = func(key NodeKey, q extent.List) {
+		if len(q) == 0 {
+			return
+		}
+		if key.IsZero() {
+			addHoles(q)
+			return
+		}
+		sem <- struct{}{}
+		n, err := t.Store.GetNode(t.Blob, key)
+		<-sem
+		if err != nil {
+			fail(fmt.Errorf("segtree: fetch %s: %w", key, err))
+			return
+		}
+		if n.Leaf {
+			var localFrags []Fragment
+			var localHoles extent.List
+			if err := t.resolveLeaf(n, q, &localFrags, &localHoles); err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			frags = append(frags, localFrags...)
+			holes = append(holes, localHoles...)
+			mu.Unlock()
+			return
+		}
+		half := key.Size / 2
+		lr := extent.Extent{Offset: key.Offset, Length: half}
+		rr := extent.Extent{Offset: key.Offset + half, Length: half}
+		lq := q.Intersect(extent.List{lr})
+		rq := q.Intersect(extent.List{rr})
+		if len(lq) > 0 && len(rq) > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				walk(n.Left, lq)
+			}()
+			walk(n.Right, rq)
+			return
+		}
+		if len(lq) > 0 {
+			walk(n.Left, lq)
+		}
+		if len(rq) > 0 {
+			walk(n.Right, rq)
+		}
+	}
+	walk(root, query)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	holes = holes.Normalize()
+	sortFragments(frags)
+	return frags, holes, nil
+}
+
+// resolveLeaf satisfies q from the leaf's fragment chain, newest first.
+func (t *Tree) resolveLeaf(n *Node, q extent.List, frags *[]Fragment, holes *extent.List) error {
+	remaining := q.Normalize()
+	cur := n
+	for {
+		covered := make(extent.List, 0, len(cur.Frags))
+		for _, f := range cur.Frags {
+			covered = append(covered, f.Ext)
+		}
+		covered = covered.Normalize()
+		for _, f := range cur.Frags {
+			for _, want := range remaining.Intersect(extent.List{f.Ext}) {
+				*frags = append(*frags, Fragment{
+					Ext: want,
+					Ref: chunk.Ref{
+						Key:    f.Ref.Key,
+						Offset: f.Ref.Offset + (want.Offset - f.Ext.Offset),
+						Length: want.Length,
+					},
+				})
+			}
+		}
+		remaining = remaining.Subtract(covered)
+		if len(remaining) == 0 || cur.Prev.IsZero() {
+			break
+		}
+		next, err := t.Store.GetNode(t.Blob, cur.Prev)
+		if err != nil {
+			return fmt.Errorf("segtree: fetch chained leaf %s: %w", cur.Prev, err)
+		}
+		cur = next
+	}
+	*holes = append(*holes, remaining...)
+	return nil
+}
+
+// SplitPlaced splits placed pieces at page boundaries, adjusting chunk
+// reference offsets so each output piece stays within one page.
+func SplitPlaced(pieces []Placed, page int64) []Placed {
+	if page <= 0 {
+		return pieces
+	}
+	var out []Placed
+	for _, p := range pieces {
+		off := p.Ext.Offset
+		refOff := p.Ref.Offset
+		remaining := p.Ext.Length
+		for remaining > 0 {
+			boundary := (off/page + 1) * page
+			n := remaining
+			if boundary-off < n {
+				n = boundary - off
+			}
+			out = append(out, Placed{
+				Ext: extent.Extent{Offset: off, Length: n},
+				Ref: chunk.Ref{Key: p.Ref.Key, Offset: refOff, Length: n},
+			})
+			off += n
+			refOff += n
+			remaining -= n
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness reports: summaries with mean/min/max and quantiles over
+// latency samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample set of durations.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Summarize computes a Summary; an empty input yields a zero Summary.
+func Summarize(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  total / time.Duration(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   Quantile(sorted, 0.50),
+		P95:   Quantile(sorted, 0.95),
+		P99:   Quantile(sorted, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ASCENDING-sorted
+// sample set using linear interpolation between closest ranks.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// String renders the summary compactly for table cells.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, round(s.Mean), round(s.P50), round(s.P95), round(s.P99), round(s.Max))
+}
+
+// round trims sub-microsecond noise for display.
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

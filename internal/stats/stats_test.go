@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.String() != "n=0" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]time.Duration{ms(1), ms(3), ms(2), ms(4)})
+	if s.Count != 4 || s.Min != ms(1) || s.Max != ms(4) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != ms(10)/4 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// P50 of [1,2,3,4]ms with interpolation = 2.5ms.
+	if s.P50 != ms(5)/2 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []time.Duration{ms(3), ms(1), ms(2)}
+	Summarize(in)
+	if in[0] != ms(3) || in[1] != ms(1) || in[2] != ms(2) {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	sorted := []time.Duration{ms(10), ms(20), ms(30)}
+	if Quantile(sorted, 0) != ms(10) || Quantile(sorted, 1) != ms(30) {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(sorted, 0.5) != ms(20) {
+		t.Fatalf("median = %v", Quantile(sorted, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile must be 0")
+	}
+	if Quantile(sorted, -1) != ms(10) || Quantile(sorted, 2) != ms(30) {
+		t.Fatal("out-of-range q must clamp")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	sorted := []time.Duration{ms(0), ms(100)}
+	if got := Quantile(sorted, 0.25); got != ms(25) {
+		t.Fatalf("q0.25 = %v, want 25ms", got)
+	}
+}
+
+func TestStringContainsFields(t *testing.T) {
+	s := Summarize([]time.Duration{ms(5), ms(6)})
+	out := s.String()
+	for _, want := range []string{"n=2", "mean=", "p99=", "max="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String %q missing %q", out, want)
+		}
+	}
+}
+
+// TestPropQuantilesMonotone: quantiles are monotone in q and bounded
+// by min/max.
+func TestPropQuantilesMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(50) + 1
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			samples[i] = time.Duration(r.Intn(1000)) * time.Microsecond
+		}
+		sorted := make([]time.Duration, n)
+		copy(sorted, samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(sorted, q)
+			if v < prev || v < sorted[0] || v > sorted[n-1] {
+				return false
+			}
+			prev = v
+		}
+		s := Summarize(samples)
+		return s.Min == sorted[0] && s.Max == sorted[n-1] && s.P50 >= s.Min && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package verify checks MPI atomicity experimentally. Writers stamp
+// their data with a unique byte per call; after a concurrent run the
+// checker reconstructs which call produced every byte of the final
+// file state and decides whether that outcome is equivalent to SOME
+// serial order of the calls — the definition of MPI atomic mode.
+//
+// The decision procedure: for every byte covered by more than one
+// call, the observed winner w must be one of the covering calls, and
+// every other covering call v must precede w in the serial order
+// (edge v → w). The outcome is serializable iff the resulting
+// precedence graph is acyclic. The POSIX per-extent strategy produces
+// interleaved states that fail this check under overlap, which is the
+// paper's motivating inconsistency.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/extent"
+)
+
+// Call describes one atomic write call under test.
+type Call struct {
+	// ID must be unique per call and in [1, 255] so it can be used as
+	// the stamp byte.
+	ID int
+	// Extents is the call's (normalized) file extent list.
+	Extents extent.List
+}
+
+// StampByte returns the byte value call id writes everywhere.
+func StampByte(id int) byte { return byte(id) }
+
+// MakeVec builds the stamped write vector for a call.
+func MakeVec(c Call) (extent.Vec, error) {
+	if c.ID < 1 || c.ID > 255 {
+		return extent.Vec{}, fmt.Errorf("verify: call ID %d out of [1,255]", c.ID)
+	}
+	buf := make([]byte, c.Extents.TotalLength())
+	for i := range buf {
+		buf[i] = StampByte(c.ID)
+	}
+	return extent.NewVec(c.Extents, buf)
+}
+
+// ErrNotSerializable reports an outcome no serial order explains.
+var ErrNotSerializable = errors.New("verify: outcome not equivalent to any serial order (MPI atomicity violated)")
+
+// ErrForeignData reports bytes whose value matches no covering call.
+var ErrForeignData = errors.New("verify: byte not written by any covering call (interleaving or corruption)")
+
+// CheckSerializable validates the final image (file contents starting
+// at byte offset base) against the set of calls. Bytes covered by no
+// call are ignored.
+func CheckSerializable(image []byte, base int64, calls []Call) error {
+	byID := make(map[int]*Call, len(calls))
+	for i := range calls {
+		c := &calls[i]
+		if c.ID < 1 || c.ID > 255 {
+			return fmt.Errorf("verify: call ID %d out of [1,255]", c.ID)
+		}
+		if dup := byID[c.ID]; dup != nil {
+			return fmt.Errorf("verify: duplicate call ID %d", c.ID)
+		}
+		byID[c.ID] = c
+	}
+
+	// Precedence edges: pred[w] = set of calls that must precede w.
+	pred := make(map[int]map[int]bool)
+	for off := int64(0); off < int64(len(image)); off++ {
+		fileOff := base + off
+		var covering []int
+		for _, c := range calls {
+			if coversByte(c.Extents, fileOff) {
+				covering = append(covering, c.ID)
+			}
+		}
+		if len(covering) == 0 {
+			continue
+		}
+		winner := int(image[off])
+		found := false
+		for _, id := range covering {
+			if id == winner {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: offset %d holds %d, covering calls %v",
+				ErrForeignData, fileOff, winner, covering)
+		}
+		if len(covering) == 1 {
+			continue
+		}
+		edges := pred[winner]
+		if edges == nil {
+			edges = make(map[int]bool)
+			pred[winner] = edges
+		}
+		for _, id := range covering {
+			if id != winner {
+				edges[id] = true
+			}
+		}
+	}
+	if cycle := findCycle(pred); cycle != nil {
+		return fmt.Errorf("%w: precedence cycle %v", ErrNotSerializable, cycle)
+	}
+	return nil
+}
+
+// coversByte reports whether the normalized list covers the offset.
+func coversByte(l extent.List, off int64) bool {
+	return l.IntersectsExtent(extent.Extent{Offset: off, Length: 1})
+}
+
+// findCycle runs DFS over the precedence graph (edge w→v for every
+// v ∈ pred[w], meaning "v before w" reversed; any directed cycle in
+// either orientation witnesses non-serializability). It returns a
+// cycle's node list, or nil.
+func findCycle(pred map[int]map[int]bool) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var stack []int
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		stack = append(stack, u)
+		for v := range pred[u] {
+			switch color[v] {
+			case gray:
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == v {
+						break
+					}
+				}
+				return true
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	for u := range pred {
+		if color[u] == white {
+			if dfs(u) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// Reader abstracts "read the final state" over any backend.
+type Reader interface {
+	ReadList(q extent.List, atomic bool) ([]byte, error)
+}
+
+// CheckCalls reads the union of all call extents through the reader
+// and checks serializability of the observed outcome.
+func CheckCalls(r Reader, calls []Call) error {
+	var union extent.List
+	for _, c := range calls {
+		union = union.Union(c.Extents)
+	}
+	if len(union) == 0 {
+		return nil
+	}
+	bound := union.Bounding()
+	data, err := r.ReadList(union, true)
+	if err != nil {
+		return fmt.Errorf("verify: read final state: %w", err)
+	}
+	// Materialize the image over the bounding range.
+	image := make([]byte, bound.Length)
+	vec := extent.Vec{Extents: union, Buf: data}
+	vec.ScatterInto(image, bound.Offset)
+	return CheckSerializable(image, bound.Offset, calls)
+}

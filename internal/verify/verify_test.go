@@ -1,0 +1,173 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/extent"
+)
+
+func TestMakeVec(t *testing.T) {
+	v, err := MakeVec(Call{ID: 3, Extents: extent.List{{Offset: 0, Length: 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range v.Buf {
+		if b != 3 {
+			t.Fatalf("stamp = %v", v.Buf)
+		}
+	}
+	if _, err := MakeVec(Call{ID: 0}); err == nil {
+		t.Fatal("ID 0 must fail")
+	}
+	if _, err := MakeVec(Call{ID: 256}); err == nil {
+		t.Fatal("ID 256 must fail")
+	}
+}
+
+func TestSerialOutcomePasses(t *testing.T) {
+	// Call 1 writes [0,10), call 2 writes [5,15): image applying 1 then 2.
+	image := []byte{1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}
+	calls := []Call{
+		{ID: 1, Extents: extent.List{{Offset: 0, Length: 10}}},
+		{ID: 2, Extents: extent.List{{Offset: 5, Length: 10}}},
+	}
+	if err := CheckSerializable(image, 0, calls); err != nil {
+		t.Fatal(err)
+	}
+	// And the opposite order.
+	image2 := []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2}
+	for i := 0; i < 10; i++ {
+		image2[i] = 1
+	}
+	if err := CheckSerializable(image2, 0, calls); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedOutcomeFails(t *testing.T) {
+	// Two calls covering the same two regions, with the overlap split
+	// between them: region A shows call 1, region B shows call 2 —
+	// impossible under any serial order.
+	calls := []Call{
+		{ID: 1, Extents: extent.List{{Offset: 0, Length: 4}, {Offset: 8, Length: 4}}},
+		{ID: 2, Extents: extent.List{{Offset: 0, Length: 4}, {Offset: 8, Length: 4}}},
+	}
+	image := []byte{1, 1, 1, 1, 0, 0, 0, 0, 2, 2, 2, 2}
+	err := CheckSerializable(image, 0, calls)
+	if !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("err = %v, want ErrNotSerializable", err)
+	}
+}
+
+func TestForeignDataFails(t *testing.T) {
+	calls := []Call{{ID: 1, Extents: extent.List{{Offset: 0, Length: 4}}}}
+	image := []byte{1, 1, 9, 1}
+	err := CheckSerializable(image, 0, calls)
+	if !errors.Is(err, ErrForeignData) {
+		t.Fatalf("err = %v, want ErrForeignData", err)
+	}
+}
+
+func TestUncoveredBytesIgnored(t *testing.T) {
+	calls := []Call{{ID: 1, Extents: extent.List{{Offset: 10, Length: 2}}}}
+	image := make([]byte, 20)
+	image[10], image[11] = 1, 1
+	image[0] = 99 // uncovered garbage is fine
+	if err := CheckSerializable(image, 0, calls); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaseOffsetHandling(t *testing.T) {
+	calls := []Call{{ID: 5, Extents: extent.List{{Offset: 1000, Length: 3}}}}
+	image := []byte{5, 5, 5}
+	if err := CheckSerializable(image, 1000, calls); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeWayCycleDetected(t *testing.T) {
+	// Pairwise overlaps: 1-2 overlap in X, 2-3 in Y, 3-1 in Z.
+	// Winners: X→2 over 1, Y→3 over 2, Z→1 over 3: cycle 1<2<3<1.
+	calls := []Call{
+		{ID: 1, Extents: extent.List{{Offset: 0, Length: 2}, {Offset: 4, Length: 2}}},
+		{ID: 2, Extents: extent.List{{Offset: 0, Length: 2}, {Offset: 2, Length: 2}}},
+		{ID: 3, Extents: extent.List{{Offset: 2, Length: 2}, {Offset: 4, Length: 2}}},
+	}
+	image := []byte{2, 2, 3, 3, 1, 1}
+	err := CheckSerializable(image, 0, calls)
+	if !errors.Is(err, ErrNotSerializable) {
+		t.Fatalf("err = %v, want ErrNotSerializable", err)
+	}
+}
+
+func TestThreeWaySerialPasses(t *testing.T) {
+	calls := []Call{
+		{ID: 1, Extents: extent.List{{Offset: 0, Length: 2}, {Offset: 4, Length: 2}}},
+		{ID: 2, Extents: extent.List{{Offset: 0, Length: 2}, {Offset: 2, Length: 2}}},
+		{ID: 3, Extents: extent.List{{Offset: 2, Length: 2}, {Offset: 4, Length: 2}}},
+	}
+	// Order 1, 2, 3: [0,2)=2, [2,4)=3, [4,6)=3.
+	image := []byte{2, 2, 3, 3, 3, 3}
+	if err := CheckSerializable(image, 0, calls); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	calls := []Call{
+		{ID: 1, Extents: extent.List{{Offset: 0, Length: 1}}},
+		{ID: 1, Extents: extent.List{{Offset: 1, Length: 1}}},
+	}
+	if err := CheckSerializable([]byte{1, 1}, 0, calls); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+}
+
+func TestInvalidIDRejected(t *testing.T) {
+	calls := []Call{{ID: 300, Extents: extent.List{{Offset: 0, Length: 1}}}}
+	if err := CheckSerializable([]byte{0}, 0, calls); err == nil {
+		t.Fatal("ID out of range must be rejected")
+	}
+}
+
+// fakeReader serves a fixed image.
+type fakeReader struct {
+	image []byte
+}
+
+func (f *fakeReader) ReadList(q extent.List, _ bool) ([]byte, error) {
+	out := make([]byte, q.TotalLength())
+	vec := extent.Vec{Extents: q, Buf: out}
+	vec.GatherFrom(f.image, 0)
+	return out, nil
+}
+
+func TestCheckCalls(t *testing.T) {
+	image := make([]byte, 32)
+	for i := 0; i < 8; i++ {
+		image[i] = 1
+	}
+	for i := 8; i < 16; i++ {
+		image[i] = 2
+	}
+	calls := []Call{
+		{ID: 1, Extents: extent.List{{Offset: 0, Length: 8}}},
+		{ID: 2, Extents: extent.List{{Offset: 8, Length: 8}}},
+	}
+	if err := CheckCalls(&fakeReader{image: image}, calls); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte inside call 2's region.
+	image[9] = 77
+	if err := CheckCalls(&fakeReader{image: image}, calls); err == nil {
+		t.Fatal("corruption must be detected")
+	}
+}
+
+func TestCheckCallsEmpty(t *testing.T) {
+	if err := CheckCalls(&fakeReader{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

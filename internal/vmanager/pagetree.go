@@ -1,0 +1,125 @@
+package vmanager
+
+// pageTree answers the version manager's borrow queries in O(log n):
+// for every page of the blob it tracks the highest write ticket that
+// touched it, supporting range stamp and range maximum. It is a sparse
+// (pointer-based) segment tree with lazy propagation, allocating nodes
+// only along touched paths, so huge address spaces cost nothing until
+// written.
+//
+// Correctness hinges on ticket monotonicity: tickets only grow, so
+// "stamp range with v" is equivalent to "raise range to at least v"
+// (range-chmax), which composes cleanly under lazy propagation.
+type pageTree struct {
+	pages int64 // power of two
+	root  *ptNode
+}
+
+type ptNode struct {
+	max         uint64 // max version in subtree
+	lazy        uint64 // pending raise for the whole subtree
+	left, right *ptNode
+}
+
+// newPageTree builds a tree over the given number of pages (rounded up
+// to a power of two).
+func newPageTree(pages int64) *pageTree {
+	p := int64(1)
+	for p < pages {
+		p <<= 1
+	}
+	return &pageTree{pages: p, root: &ptNode{}}
+}
+
+// stamp raises pages [lo, hi) to version v.
+func (t *pageTree) stamp(lo, hi int64, v uint64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.pages {
+		hi = t.pages
+	}
+	if lo >= hi {
+		return
+	}
+	t.root.stamp(0, t.pages, lo, hi, v)
+}
+
+// query returns the maximum version among pages [lo, hi), 0 if none.
+func (t *pageTree) query(lo, hi int64) uint64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.pages {
+		hi = t.pages
+	}
+	if lo >= hi {
+		return 0
+	}
+	return t.root.query(0, t.pages, lo, hi)
+}
+
+func (n *ptNode) apply(v uint64) {
+	if v > n.max {
+		n.max = v
+	}
+	if v > n.lazy {
+		n.lazy = v
+	}
+}
+
+func (n *ptNode) push() {
+	if n.left == nil {
+		n.left = &ptNode{}
+		n.right = &ptNode{}
+	}
+	if n.lazy != 0 {
+		n.left.apply(n.lazy)
+		n.right.apply(n.lazy)
+		n.lazy = 0
+	}
+}
+
+func (n *ptNode) stamp(nodeLo, nodeHi, lo, hi int64, v uint64) {
+	if lo <= nodeLo && nodeHi <= hi {
+		n.apply(v)
+		return
+	}
+	n.push()
+	mid := (nodeLo + nodeHi) / 2
+	if lo < mid {
+		n.left.stamp(nodeLo, mid, lo, hi, v)
+	}
+	if hi > mid {
+		n.right.stamp(mid, nodeHi, lo, hi, v)
+	}
+	n.max = n.left.max
+	if n.right.max > n.max {
+		n.max = n.right.max
+	}
+}
+
+func (n *ptNode) query(nodeLo, nodeHi, lo, hi int64) uint64 {
+	if lo <= nodeLo && nodeHi <= hi {
+		return n.max
+	}
+	if n.left == nil {
+		// Never split: every stamp covered this whole node range, so
+		// all pages below share the same version, n.max.
+		return n.max
+	}
+	mid := (nodeLo + nodeHi) / 2
+	var best uint64
+	if lo < mid {
+		best = n.left.query(nodeLo, mid, lo, hi)
+	}
+	if hi > mid {
+		if r := n.right.query(mid, nodeHi, lo, hi); r > best {
+			best = r
+		}
+	}
+	if n.lazy > best {
+		best = n.lazy
+	}
+	return best
+}

@@ -1,0 +1,302 @@
+// Package vmanager implements the version manager, the serialization
+// point of the versioning storage backend. It assigns write tickets,
+// answers the borrow queries writers need to build shadowed metadata
+// without synchronizing with each other, and publishes snapshots
+// strictly in ticket order so that every published snapshot is
+// equivalent to a serial application of whole write calls — the MPI
+// atomicity guarantee.
+//
+// The manager performs no data I/O: its critical sections are short and
+// in-memory, which is why it does not become the bottleneck the way
+// data-path locking does in the baseline.
+package vmanager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/extent"
+	"repro/internal/iosim"
+	"repro/internal/segtree"
+)
+
+// Common errors.
+var (
+	ErrUnknownBlob    = errors.New("vmanager: unknown blob")
+	ErrBlobExists     = errors.New("vmanager: blob already exists")
+	ErrEmptyWrite     = errors.New("vmanager: empty extent list")
+	ErrUnknownVersion = errors.New("vmanager: unknown or unpublished version")
+	ErrDoubleComplete = errors.New("vmanager: version completed twice")
+)
+
+// Ticket is the response to a write-ticket request: the assigned
+// version and the borrow answers (tree range → latest prior version
+// touching it, 0 if never written) the writer needs to build metadata.
+type Ticket struct {
+	Version uint64
+	Borrows map[extent.Extent]uint64
+}
+
+// SnapshotInfo describes one published snapshot.
+type SnapshotInfo struct {
+	Version uint64
+	Root    segtree.NodeKey
+	Size    int64
+}
+
+type blobState struct {
+	geo  segtree.Geometry
+	next uint64 // next ticket to assign
+	vmap *pageTree
+
+	sizes     map[uint64]int64           // ticket → snapshot size (fixed at assignment)
+	roots     map[uint64]segtree.NodeKey // completed ticket → root
+	completed map[uint64]bool
+	aborted   map[uint64]bool
+	published uint64
+	cond      *sync.Cond // signalled when published advances
+}
+
+// publishReady advances the published watermark over every completed
+// version, resolving aborted versions to their predecessor's root so
+// they become empty snapshots. Callers hold m.mu.
+func (st *blobState) publishReady() bool {
+	advanced := false
+	for st.completed[st.published+1] {
+		v := st.published + 1
+		if st.aborted[v] {
+			st.roots[v] = st.roots[v-1]
+			st.sizes[v] = st.sizes[v-1]
+		}
+		st.published = v
+		advanced = true
+	}
+	return advanced
+}
+
+// Manager is the version manager service. Safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	blobs map[uint64]*blobState
+	meter *iosim.Meter
+}
+
+// New creates a manager charged with the given cost model per request
+// (use the zero model in unit tests).
+func New(model iosim.CostModel) *Manager {
+	return &Manager{
+		blobs: make(map[uint64]*blobState),
+		meter: iosim.NewMeter(model, false),
+	}
+}
+
+// Meter exposes the request meter.
+func (m *Manager) Meter() *iosim.Meter { return m.meter }
+
+// CreateBlob registers a blob with the given tree geometry. Version 0
+// is the implicit empty snapshot.
+func (m *Manager) CreateBlob(blob uint64, geo segtree.Geometry) error {
+	if err := geo.Validate(); err != nil {
+		return err
+	}
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.blobs[blob]; dup {
+		return fmt.Errorf("%w: %d", ErrBlobExists, blob)
+	}
+	st := &blobState{
+		geo:       geo,
+		next:      1,
+		vmap:      newPageTree(geo.Capacity / geo.Page),
+		sizes:     map[uint64]int64{0: 0},
+		roots:     map[uint64]segtree.NodeKey{0: {}},
+		completed: map[uint64]bool{0: true},
+		aborted:   map[uint64]bool{},
+	}
+	st.cond = sync.NewCond(&m.mu)
+	m.blobs[blob] = st
+	return nil
+}
+
+// Geometry returns the blob's tree geometry.
+func (m *Manager) Geometry(blob uint64) (segtree.Geometry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return segtree.Geometry{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	return st.geo, nil
+}
+
+// AssignTicket reserves the next version for a write covering the given
+// extents and computes its borrow answers atomically, so the answers
+// reflect exactly the tickets < the assigned one. This is the only
+// globally serialized step of a write and involves no I/O.
+func (m *Manager) AssignTicket(blob uint64, e extent.List) (Ticket, error) {
+	e = e.Normalize()
+	if len(e) == 0 {
+		return Ticket{}, ErrEmptyWrite
+	}
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return Ticket{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	if b := e.Bounding(); b.End() > st.geo.Capacity {
+		return Ticket{}, fmt.Errorf("%w: write %v beyond capacity %d", segtree.ErrOutOfRange, b, st.geo.Capacity)
+	}
+	v := st.next
+	st.next++
+	page := st.geo.Page
+	borrows := make(map[extent.Extent]uint64)
+	for _, r := range st.geo.Borrows(e) {
+		// Geometry ranges are page-aligned, so page granularity is
+		// exact here.
+		if w := st.vmap.query(r.Offset/page, r.End()/page); w != 0 {
+			borrows[r] = w
+		}
+	}
+	for _, x := range e {
+		// Stamp every page the write touches (ends rounded outward).
+		st.vmap.stamp(x.Offset/page, (x.End()+page-1)/page, v)
+	}
+	// Snapshot size is fixed at ticket time: the size after applying
+	// writes 1..v in order.
+	prev := st.sizes[v-1]
+	size := prev
+	if end := e.Bounding().End(); end > size {
+		size = end
+	}
+	st.sizes[v] = size
+	return Ticket{Version: v, Borrows: borrows}, nil
+}
+
+// Complete records that the metadata of version v is fully stored with
+// the given root, then publishes every ready version in ticket order.
+func (m *Manager) Complete(blob, v uint64, root segtree.NodeKey) error {
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	if v == 0 || v >= st.next {
+		return fmt.Errorf("vmanager: complete of unassigned version %d", v)
+	}
+	if st.completed[v] {
+		return fmt.Errorf("%w: %d", ErrDoubleComplete, v)
+	}
+	st.completed[v] = true
+	st.roots[v] = root
+	if st.publishReady() {
+		st.cond.Broadcast()
+	}
+	return nil
+}
+
+// Abort gives up a ticket whose write failed after assignment. The
+// version publishes as an empty snapshot (identical to its
+// predecessor), so later tickets are not blocked behind a dead writer.
+// Note the size watermark fixed at assignment time is rolled back for
+// the aborted version itself but later snapshots keep the monotone
+// watermark — unwritten bytes read as zero holes, as with sparse
+// POSIX files.
+func (m *Manager) Abort(blob, v uint64) error {
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	if v == 0 || v >= st.next {
+		return fmt.Errorf("vmanager: abort of unassigned version %d", v)
+	}
+	if st.completed[v] {
+		return fmt.Errorf("%w: %d", ErrDoubleComplete, v)
+	}
+	st.completed[v] = true
+	st.aborted[v] = true
+	if st.publishReady() {
+		st.cond.Broadcast()
+	}
+	return nil
+}
+
+// WaitPublished blocks until version v of the blob is published.
+func (m *Manager) WaitPublished(blob, v uint64) error {
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	if v >= st.next {
+		return fmt.Errorf("vmanager: waiting for unassigned version %d", v)
+	}
+	for st.published < v {
+		st.cond.Wait()
+	}
+	return nil
+}
+
+// LatestPublished returns the newest published snapshot.
+func (m *Manager) LatestPublished(blob uint64) (SnapshotInfo, error) {
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	return SnapshotInfo{Version: st.published, Root: st.roots[st.published], Size: st.sizes[st.published]}, nil
+}
+
+// Snapshot returns a published snapshot by version.
+func (m *Manager) Snapshot(blob, v uint64) (SnapshotInfo, error) {
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	if v > st.published {
+		return SnapshotInfo{}, fmt.Errorf("%w: %d (published %d)", ErrUnknownVersion, v, st.published)
+	}
+	return SnapshotInfo{Version: v, Root: st.roots[v], Size: st.sizes[v]}, nil
+}
+
+// Versions returns all published versions in order, including the empty
+// snapshot 0.
+func (m *Manager) Versions(blob uint64) ([]uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.blobs[blob]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
+	}
+	out := make([]uint64, 0, st.published+1)
+	for v := uint64(0); v <= st.published; v++ {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Blobs returns the IDs of all registered blobs.
+func (m *Manager) Blobs() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.blobs))
+	for id := range m.blobs {
+		out = append(out, id)
+	}
+	return out
+}

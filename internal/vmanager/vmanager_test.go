@@ -1,0 +1,431 @@
+package vmanager
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/extent"
+	"repro/internal/iosim"
+	"repro/internal/segtree"
+)
+
+func geo() segtree.Geometry {
+	return segtree.Geometry{Capacity: 1024, Page: 64}
+}
+
+func newMgr(t *testing.T) *Manager {
+	t.Helper()
+	m := New(iosim.CostModel{})
+	if err := m.CreateBlob(1, geo()); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCreateBlob(t *testing.T) {
+	m := newMgr(t)
+	if err := m.CreateBlob(1, geo()); !errors.Is(err, ErrBlobExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+	if err := m.CreateBlob(2, segtree.Geometry{Capacity: 100, Page: 64}); err == nil {
+		t.Fatal("invalid geometry must be rejected")
+	}
+	g, err := m.Geometry(1)
+	if err != nil || g != geo() {
+		t.Fatalf("Geometry = %v, %v", g, err)
+	}
+	if _, err := m.Geometry(9); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("unknown blob err = %v", err)
+	}
+}
+
+func TestAssignTicketSequence(t *testing.T) {
+	m := newMgr(t)
+	for want := uint64(1); want <= 5; want++ {
+		tk, err := m.AssignTicket(1, extent.List{{Offset: 0, Length: 10}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Version != want {
+			t.Fatalf("ticket = %d, want %d", tk.Version, want)
+		}
+	}
+}
+
+func TestAssignTicketValidation(t *testing.T) {
+	m := newMgr(t)
+	if _, err := m.AssignTicket(1, nil); !errors.Is(err, ErrEmptyWrite) {
+		t.Fatalf("empty write err = %v", err)
+	}
+	if _, err := m.AssignTicket(1, extent.List{{Offset: 1000, Length: 100}}); !errors.Is(err, segtree.ErrOutOfRange) {
+		t.Fatalf("out of range err = %v", err)
+	}
+	if _, err := m.AssignTicket(9, extent.List{{Offset: 0, Length: 1}}); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("unknown blob err = %v", err)
+	}
+}
+
+func TestBorrowsReflectPriorTickets(t *testing.T) {
+	m := newMgr(t)
+	// Ticket 1 writes page 0 ([0,64)).
+	tk1, err := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tk1.Borrows) != 0 {
+		t.Fatalf("first write should borrow nothing, got %v", tk1.Borrows)
+	}
+	// Ticket 2 writes page 1 ([64,128)); its borrows must name ticket 1
+	// for the ranges covering page 0, and the touched leaf [64,128)
+	// must have no borrow entry (never written).
+	tk2, err := m.AssignTicket(1, extent.List{{Offset: 64, Length: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tk2.Borrows[extent.Extent{Offset: 0, Length: 64}]; got != 1 {
+		t.Fatalf("borrow for page 0 = %d, want 1", got)
+	}
+	if _, ok := tk2.Borrows[extent.Extent{Offset: 64, Length: 64}]; ok {
+		t.Fatal("untouched leaf should have no borrow entry")
+	}
+	// Ticket 3 rewrites page 0: the touched-leaf borrow must be 1.
+	tk3, err := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tk3.Borrows[extent.Extent{Offset: 0, Length: 64}]; got != 1 {
+		t.Fatalf("touched-leaf borrow = %d, want 1", got)
+	}
+	// And the sibling subtree [64,128) must be borrowed from ticket 2.
+	if got := tk3.Borrows[extent.Extent{Offset: 64, Length: 64}]; got != 2 {
+		t.Fatalf("sibling borrow = %d, want 2", got)
+	}
+}
+
+func TestCompletePublishesInOrder(t *testing.T) {
+	m := newMgr(t)
+	t1, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	t2, _ := m.AssignTicket(1, extent.List{{Offset: 64, Length: 64}})
+	root2 := segtree.NodeKey{Version: t2.Version, Offset: 0, Size: 1024}
+	// Completing ticket 2 first must NOT publish it.
+	if err := m.Complete(1, t2.Version, root2); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := m.LatestPublished(1)
+	if info.Version != 0 {
+		t.Fatalf("published = %d before ticket 1 completed", info.Version)
+	}
+	root1 := segtree.NodeKey{Version: t1.Version, Offset: 0, Size: 1024}
+	if err := m.Complete(1, t1.Version, root1); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = m.LatestPublished(1)
+	if info.Version != 2 || info.Root != root2 {
+		t.Fatalf("published = %+v, want version 2", info)
+	}
+}
+
+func TestCompleteErrors(t *testing.T) {
+	m := newMgr(t)
+	tk, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 10}})
+	if err := m.Complete(1, 99, segtree.NodeKey{}); err == nil {
+		t.Fatal("completing unassigned version must fail")
+	}
+	if err := m.Complete(1, tk.Version, segtree.NodeKey{Version: tk.Version, Size: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Complete(1, tk.Version, segtree.NodeKey{}); !errors.Is(err, ErrDoubleComplete) {
+		t.Fatalf("double complete err = %v", err)
+	}
+	if err := m.Complete(9, 1, segtree.NodeKey{}); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("unknown blob err = %v", err)
+	}
+}
+
+func TestSnapshotSizes(t *testing.T) {
+	m := newMgr(t)
+	t1, _ := m.AssignTicket(1, extent.List{{Offset: 100, Length: 50}}) // size 150
+	t2, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 10}})   // size stays 150
+	m.Complete(1, t1.Version, segtree.NodeKey{Version: 1, Size: 1024})
+	m.Complete(1, t2.Version, segtree.NodeKey{Version: 2, Size: 1024})
+	s1, err := m.Snapshot(1, 1)
+	if err != nil || s1.Size != 150 {
+		t.Fatalf("snapshot 1 = %+v, %v", s1, err)
+	}
+	s2, err := m.Snapshot(1, 2)
+	if err != nil || s2.Size != 150 {
+		t.Fatalf("snapshot 2 = %+v, %v", s2, err)
+	}
+	s0, err := m.Snapshot(1, 0)
+	if err != nil || s0.Size != 0 || !s0.Root.IsZero() {
+		t.Fatalf("snapshot 0 = %+v, %v", s0, err)
+	}
+}
+
+func TestSnapshotUnpublished(t *testing.T) {
+	m := newMgr(t)
+	m.AssignTicket(1, extent.List{{Offset: 0, Length: 10}})
+	if _, err := m.Snapshot(1, 1); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("unpublished snapshot err = %v", err)
+	}
+}
+
+func TestWaitPublished(t *testing.T) {
+	m := newMgr(t)
+	tk, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 10}})
+	done := make(chan error, 1)
+	go func() {
+		done <- m.WaitPublished(1, tk.Version)
+	}()
+	// Publication unblocks the waiter.
+	if err := m.Complete(1, tk.Version, segtree.NodeKey{Version: 1, Size: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Waiting for an already-published version returns immediately.
+	if err := m.WaitPublished(1, tk.Version); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WaitPublished(1, 99); err == nil {
+		t.Fatal("waiting for unassigned version must fail")
+	}
+}
+
+func TestVersionsAndBlobs(t *testing.T) {
+	m := newMgr(t)
+	tk, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 10}})
+	m.Complete(1, tk.Version, segtree.NodeKey{Version: 1, Size: 1024})
+	vs, err := m.Versions(1)
+	if err != nil || len(vs) != 2 || vs[0] != 0 || vs[1] != 1 {
+		t.Fatalf("Versions = %v, %v", vs, err)
+	}
+	if ids := m.Blobs(); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("Blobs = %v", ids)
+	}
+}
+
+func TestConcurrentTicketsUniqueAndDense(t *testing.T) {
+	m := newMgr(t)
+	const n = 100
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := m.AssignTicket(1, extent.List{{Offset: int64(i % 16 * 64), Length: 64}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if seen[tk.Version] {
+				t.Errorf("duplicate ticket %d", tk.Version)
+			}
+			seen[tk.Version] = true
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for v := uint64(1); v <= n; v++ {
+		if !seen[v] {
+			t.Fatalf("ticket %d never assigned", v)
+		}
+	}
+}
+
+func TestConcurrentCompleteOutOfOrder(t *testing.T) {
+	m := newMgr(t)
+	const n = 50
+	tickets := make([]Ticket, n)
+	for i := range tickets {
+		tk, err := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	// Complete in random order from many goroutines.
+	r := rand.New(rand.NewSource(7))
+	perm := r.Perm(n)
+	var wg sync.WaitGroup
+	for _, i := range perm {
+		wg.Add(1)
+		go func(tk Ticket) {
+			defer wg.Done()
+			root := segtree.NodeKey{Version: tk.Version, Offset: 0, Size: 1024}
+			if err := m.Complete(1, tk.Version, root); err != nil {
+				t.Error(err)
+			}
+		}(tickets[i])
+	}
+	wg.Wait()
+	info, _ := m.LatestPublished(1)
+	if info.Version != n {
+		t.Fatalf("published = %d, want %d", info.Version, n)
+	}
+}
+
+func TestPageTreeBasics(t *testing.T) {
+	pt := newPageTree(100) // rounds to 128
+	if got := pt.query(0, 128); got != 0 {
+		t.Fatalf("empty tree query = %d", got)
+	}
+	pt.stamp(10, 20, 1)
+	pt.stamp(30, 40, 2)
+	cases := []struct {
+		lo, hi int64
+		want   uint64
+	}{
+		{0, 5, 0},
+		{10, 15, 1},
+		{15, 35, 2},
+		{35, 128, 2},
+		{40, 128, 0},
+		{0, 128, 2},
+		{19, 20, 1},
+		{20, 30, 0},
+	}
+	for i, c := range cases {
+		if got := pt.query(c.lo, c.hi); got != c.want {
+			t.Fatalf("case %d: query(%d,%d) = %d, want %d", i, c.lo, c.hi, got, c.want)
+		}
+	}
+	// Later versions override earlier ones.
+	pt.stamp(5, 35, 3)
+	if got := pt.query(12, 13); got != 3 {
+		t.Fatalf("after overwrite query = %d, want 3", got)
+	}
+	if got := pt.query(35, 40); got != 2 {
+		t.Fatalf("right remainder query = %d, want 2", got)
+	}
+}
+
+func TestPageTreeBoundsClamped(t *testing.T) {
+	pt := newPageTree(16)
+	pt.stamp(-5, 100, 7) // clamps to [0,16)
+	if got := pt.query(-3, 200); got != 7 {
+		t.Fatalf("clamped query = %d", got)
+	}
+	pt.stamp(5, 5, 9) // empty range is a no-op
+	if got := pt.query(0, 16); got != 7 {
+		t.Fatalf("after empty stamp = %d", got)
+	}
+}
+
+// TestPropPageTreeMatchesBruteForce cross-checks the lazy segment tree
+// against a flat-array oracle under random monotone stamps.
+func TestPropPageTreeMatchesBruteForce(t *testing.T) {
+	const pages = 256
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pt := newPageTree(pages)
+		oracle := make([]uint64, pages)
+		for v := uint64(1); v <= 40; v++ {
+			lo := int64(r.Intn(pages))
+			hi := lo + int64(r.Intn(pages-int(lo))+1)
+			pt.stamp(lo, hi, v)
+			for i := lo; i < hi; i++ {
+				oracle[i] = v
+			}
+		}
+		for probe := 0; probe < 60; probe++ {
+			lo := int64(r.Intn(pages))
+			hi := lo + int64(r.Intn(pages-int(lo))+1)
+			var want uint64
+			for i := lo; i < hi; i++ {
+				if oracle[i] > want {
+					want = oracle[i]
+				}
+			}
+			if pt.query(lo, hi) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortUnblocksPublication(t *testing.T) {
+	m := newMgr(t)
+	t1, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	t2, _ := m.AssignTicket(1, extent.List{{Offset: 64, Length: 64}})
+	root2 := segtree.NodeKey{Version: t2.Version, Offset: 0, Size: 1024}
+	if err := m.Complete(1, t2.Version, root2); err != nil {
+		t.Fatal(err)
+	}
+	// Ticket 1 failed; abort it.
+	if err := m.Abort(1, t1.Version); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := m.LatestPublished(1)
+	if info.Version != 2 {
+		t.Fatalf("published = %d, want 2 (abort must unblock)", info.Version)
+	}
+	// The aborted snapshot resolves to its predecessor's root (empty).
+	s1, err := m.Snapshot(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Root.IsZero() || s1.Size != 0 {
+		t.Fatalf("aborted snapshot = %+v, want predecessor's state", s1)
+	}
+}
+
+func TestAbortValidation(t *testing.T) {
+	m := newMgr(t)
+	tk, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 10}})
+	if err := m.Abort(1, 99); err == nil {
+		t.Fatal("aborting unassigned version must fail")
+	}
+	if err := m.Abort(9, 1); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Complete(1, tk.Version, segtree.NodeKey{Version: 1, Size: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(1, tk.Version); !errors.Is(err, ErrDoubleComplete) {
+		t.Fatalf("abort after complete err = %v", err)
+	}
+}
+
+func TestAbortedChainOfVersions(t *testing.T) {
+	m := newMgr(t)
+	var tickets []Ticket
+	for i := 0; i < 5; i++ {
+		tk, _ := m.AssignTicket(1, extent.List{{Offset: int64(i) * 64, Length: 64}})
+		tickets = append(tickets, tk)
+	}
+	// Abort 1,2,3; complete 4,5.
+	for i := 0; i < 3; i++ {
+		if err := m.Abort(1, tickets[i].Version); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		root := segtree.NodeKey{Version: tickets[i].Version, Offset: 0, Size: 1024}
+		if err := m.Complete(1, tickets[i].Version, root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, _ := m.LatestPublished(1)
+	if info.Version != 5 {
+		t.Fatalf("published = %d, want 5", info.Version)
+	}
+	// Versions 1..3 all resolve to the empty predecessor root.
+	for v := uint64(1); v <= 3; v++ {
+		s, err := m.Snapshot(1, v)
+		if err != nil || !s.Root.IsZero() {
+			t.Fatalf("aborted snapshot %d = %+v, %v", v, s, err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/extent"
+)
+
+func TestOverlapSpecValidate(t *testing.T) {
+	good := OverlapSpec{Clients: 4, Regions: 8, RegionSize: 64, OverlapFraction: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []OverlapSpec{
+		{Clients: 0, Regions: 1, RegionSize: 1},
+		{Clients: 1, Regions: 0, RegionSize: 1},
+		{Clients: 1, Regions: 1, RegionSize: 0},
+		{Clients: 1, Regions: 1, RegionSize: 1, OverlapFraction: -0.1},
+		{Clients: 1, Regions: 1, RegionSize: 1, OverlapFraction: 1.1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}
+
+func TestOverlapFullOverlapIdenticalLists(t *testing.T) {
+	s := OverlapSpec{Clients: 4, Regions: 3, RegionSize: 100, OverlapFraction: 1}
+	l0 := s.ExtentsFor(0)
+	for w := 1; w < 4; w++ {
+		if !s.ExtentsFor(w).Equal(l0) {
+			t.Fatalf("full overlap: client %d differs: %v vs %v", w, s.ExtentsFor(w), l0)
+		}
+	}
+}
+
+func TestOverlapZeroOverlapDisjoint(t *testing.T) {
+	s := OverlapSpec{Clients: 4, Regions: 3, RegionSize: 100, OverlapFraction: 0}
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if s.ExtentsFor(a).Overlaps(s.ExtentsFor(b)) {
+				t.Fatalf("zero overlap: clients %d,%d overlap", a, b)
+			}
+		}
+	}
+}
+
+func TestOverlapPartial(t *testing.T) {
+	s := OverlapSpec{Clients: 2, Regions: 1, RegionSize: 100, OverlapFraction: 0.5}
+	l0, l1 := s.ExtentsFor(0), s.ExtentsFor(1)
+	inter := l0.Intersect(l1)
+	if got := inter.TotalLength(); got != 50 {
+		t.Fatalf("overlap bytes = %d, want 50", got)
+	}
+}
+
+func TestOverlapRegionsNonContiguousPerClient(t *testing.T) {
+	s := OverlapSpec{Clients: 4, Regions: 8, RegionSize: 64, OverlapFraction: 0.75}
+	l := s.ExtentsFor(2)
+	if len(l) != 8 {
+		t.Fatalf("regions = %d", len(l))
+	}
+	if !l.IsNormalized() {
+		t.Fatalf("list not sorted/disjoint: %v", l)
+	}
+	if s.BytesPerClient() != 8*64 {
+		t.Fatalf("BytesPerClient = %d", s.BytesPerClient())
+	}
+	// All extents must fit in the declared span.
+	if l[len(l)-1].End() > s.FileSpan() {
+		t.Fatalf("extent %v beyond FileSpan %d", l[len(l)-1], s.FileSpan())
+	}
+}
+
+func TestTileSpecValidate(t *testing.T) {
+	good := TileSpec{TilesX: 2, TilesY: 2, TileX: 8, TileY: 8, ElementSize: 4, OverlapX: 2, OverlapY: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := TileSpec{TilesX: 2, TilesY: 2, TileX: 8, TileY: 8, ElementSize: 4, OverlapX: 8}
+	if bad.Validate() == nil {
+		t.Fatal("overlap >= tile must fail")
+	}
+}
+
+func TestTileArrayDims(t *testing.T) {
+	s := TileSpec{TilesX: 3, TilesY: 2, TileX: 10, TileY: 8, ElementSize: 1, OverlapX: 2, OverlapY: 1}
+	w, h := s.ArrayDims()
+	if w != 3*8+2 || h != 2*7+1 {
+		t.Fatalf("dims = %dx%d", w, h)
+	}
+	if s.Ranks() != 6 {
+		t.Fatalf("ranks = %d", s.Ranks())
+	}
+}
+
+func TestTileNeighboursOverlap(t *testing.T) {
+	s := TileSpec{TilesX: 2, TilesY: 1, TileX: 8, TileY: 4, ElementSize: 1, OverlapX: 2, OverlapY: 0}
+	l0, l1 := s.ExtentsFor(0), s.ExtentsFor(1)
+	inter := l0.Intersect(l1)
+	// Overlap = 2 columns × 4 rows = 8 elements.
+	if got := inter.TotalLength(); got != 8 {
+		t.Fatalf("tile overlap bytes = %d, want 8", got)
+	}
+}
+
+func TestTileNoOverlapDisjoint(t *testing.T) {
+	s := TileSpec{TilesX: 2, TilesY: 2, TileX: 4, TileY: 4, ElementSize: 2, OverlapX: 0, OverlapY: 0}
+	for a := 0; a < s.Ranks(); a++ {
+		for b := a + 1; b < s.Ranks(); b++ {
+			if s.ExtentsFor(a).Overlaps(s.ExtentsFor(b)) {
+				t.Fatalf("tiles %d,%d overlap", a, b)
+			}
+		}
+	}
+	// Union of all tiles covers the whole array exactly.
+	var union extent.List
+	for r := 0; r < s.Ranks(); r++ {
+		union = union.Union(s.ExtentsFor(r))
+	}
+	if got, want := union.TotalLength(), s.FileBytes(); got != want {
+		t.Fatalf("union = %d bytes, want %d", got, want)
+	}
+}
+
+func TestTileUnionCoversArrayWithOverlap(t *testing.T) {
+	s := TileSpec{TilesX: 3, TilesY: 3, TileX: 6, TileY: 6, ElementSize: 4, OverlapX: 2, OverlapY: 2}
+	var union extent.List
+	for r := 0; r < s.Ranks(); r++ {
+		union = union.Union(s.ExtentsFor(r))
+	}
+	if got, want := union.TotalLength(), s.FileBytes(); got != want {
+		t.Fatalf("union = %d bytes, want full array %d", got, want)
+	}
+	if s.BytesPerRank() != 6*6*4 {
+		t.Fatalf("BytesPerRank = %d", s.BytesPerRank())
+	}
+}
+
+func TestTileOrigins(t *testing.T) {
+	s := TileSpec{TilesX: 2, TilesY: 2, TileX: 8, TileY: 8, ElementSize: 1, OverlapX: 2, OverlapY: 2}
+	cases := map[int][2]int{
+		0: {0, 0}, 1: {6, 0}, 2: {0, 6}, 3: {6, 6},
+	}
+	for rank, want := range cases {
+		x, y := s.TileOrigin(rank)
+		if x != want[0] || y != want[1] {
+			t.Fatalf("rank %d origin = (%d,%d), want %v", rank, x, y, want)
+		}
+	}
+}
+
+func TestHaloSpec(t *testing.T) {
+	s := HaloSpec{PX: 2, PY: 2, CoreX: 8, CoreY: 8, Halo: 1, ElementSize: 1}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Ranks() != 4 {
+		t.Fatalf("ranks = %d", s.Ranks())
+	}
+	// Corner rank 0: halo clipped at domain edges.
+	x, y, w, h := s.Block(0)
+	if x != 0 || y != 0 || w != 9 || h != 9 {
+		t.Fatalf("block 0 = (%d,%d,%d,%d)", x, y, w, h)
+	}
+	// Rank 3 (bottom right): starts at core-halo.
+	x, y, w, h = s.Block(3)
+	if x != 7 || y != 7 || w != 9 || h != 9 {
+		t.Fatalf("block 3 = (%d,%d,%d,%d)", x, y, w, h)
+	}
+	// Horizontal neighbours overlap by 2*halo columns.
+	inter := s.ExtentsFor(0).Intersect(s.ExtentsFor(1))
+	if got := inter.TotalLength(); got != 2*9 {
+		t.Fatalf("halo overlap = %d, want %d", got, 2*9)
+	}
+	if s.BytesPerRank(0) != 81 {
+		t.Fatalf("BytesPerRank = %d", s.BytesPerRank(0))
+	}
+}
+
+func TestHaloValidate(t *testing.T) {
+	bad := HaloSpec{PX: 1, PY: 1, CoreX: 4, CoreY: 4, Halo: 5, ElementSize: 1}
+	if bad.Validate() == nil {
+		t.Fatal("halo > core must fail")
+	}
+	if (HaloSpec{}).Validate() == nil {
+		t.Fatal("zero spec must fail")
+	}
+}
+
+func TestHaloZeroDisjoint(t *testing.T) {
+	s := HaloSpec{PX: 3, PY: 3, CoreX: 4, CoreY: 4, Halo: 0, ElementSize: 2}
+	for a := 0; a < s.Ranks(); a++ {
+		for b := a + 1; b < s.Ranks(); b++ {
+			if s.ExtentsFor(a).Overlaps(s.ExtentsFor(b)) {
+				t.Fatalf("halo-0 blocks %d,%d overlap", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package repro is the public facade of this reproduction of
+// "Towards a storage backend optimized for atomic MPI-I/O for parallel
+// scientific applications" (Tran, IPDPSW/PhD Forum 2011): a
+// versioning-based storage backend providing native MPI-atomic
+// non-contiguous (List I/O) reads and writes, together with the full
+// substrate stack the paper depends on (BlobSeer-equivalent versioning
+// service, MPI runtime, MPI-I/O layer, Lustre-like locking baseline).
+//
+// The quickest way in:
+//
+//	store, _ := repro.NewStore(repro.Options{})
+//	v, _ := store.WriteList(repro.MustVec(
+//		repro.ExtentList{{Offset: 0, Length: 4}, {Offset: 1024, Length: 4}},
+//		[]byte("abcdwxyz")))
+//	data, _ := store.ReadListAt(v, repro.ExtentList{{Offset: 1024, Length: 4}})
+//
+// WriteList applies the whole vector as one atomic transaction: under
+// any concurrency, overlapping bytes of two calls never interleave and
+// every snapshot equals some serial order of whole calls — MPI atomic
+// mode semantics, provided without locks.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/extent"
+)
+
+// Re-exported core types; see the internal packages for full
+// documentation.
+type (
+	// Extent is a byte range [Offset, Offset+Length) in the file.
+	Extent = extent.Extent
+	// ExtentList is an ordered set of extents (a List I/O pattern).
+	ExtentList = extent.List
+	// Vec pairs an extent list with its flat data buffer.
+	Vec = extent.Vec
+	// Version identifies one published snapshot.
+	Version = core.Version
+	// Backend is the storage-backend interface (see internal/core).
+	Backend = core.Backend
+)
+
+// NewVec validates and builds a write/read vector.
+func NewVec(l ExtentList, buf []byte) (Vec, error) { return extent.NewVec(l, buf) }
+
+// MustVec is NewVec for statically correct inputs; it panics on error.
+func MustVec(l ExtentList, buf []byte) Vec {
+	v, err := extent.NewVec(l, buf)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Options configures an in-process Store deployment.
+type Options struct {
+	// Providers is the number of data providers the file is striped
+	// over (default 8).
+	Providers int
+	// MetaShards is the number of metadata providers (default 8).
+	MetaShards int
+	// ChunkSize is the stripe unit in bytes (default 64 KiB).
+	ChunkSize int64
+	// Span is the largest file offset the store must address
+	// (default 1 GiB). The address space is rounded up to a
+	// power-of-two multiple of ChunkSize.
+	Span int64
+	// Simulate enables the synthetic network/disk cost models used by
+	// the experiments. Off by default: the store runs at memory speed.
+	Simulate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Providers == 0 {
+		o.Providers = 8
+	}
+	if o.MetaShards == 0 {
+		o.MetaShards = 8
+	}
+	if o.ChunkSize == 0 {
+		o.ChunkSize = 64 << 10
+	}
+	if o.Span == 0 {
+		o.Span = 1 << 30
+	}
+	return o
+}
+
+// Store is a ready-to-use instance of the paper's storage backend with
+// all services running in-process. All methods are safe for concurrent
+// use; concurrency is the point.
+type Store struct {
+	backend *core.VersioningBackend
+}
+
+// NewStore boots the versioning service and creates one blob (the
+// shared file).
+func NewStore(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	env := cluster.Default()
+	if opts.Simulate {
+		env = cluster.Metered()
+	}
+	env.Providers = opts.Providers
+	env.MetaShards = opts.MetaShards
+	env.ChunkSize = opts.ChunkSize
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	be, err := svc.Backend(1, opts.Span)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &Store{backend: be}, nil
+}
+
+// Backend exposes the underlying core.Backend (for use with the
+// MPI-I/O layer or the benchmark harness).
+func (s *Store) Backend() *core.VersioningBackend { return s.backend }
+
+// WriteList atomically writes a non-contiguous vector and returns the
+// snapshot version it produced.
+func (s *Store) WriteList(v Vec) (Version, error) { return s.backend.WriteList(v) }
+
+// Write is the contiguous convenience form of WriteList.
+func (s *Store) Write(off int64, data []byte) (Version, error) {
+	v, err := NewVec(ExtentList{{Offset: off, Length: int64(len(data))}}, data)
+	if err != nil {
+		return 0, err
+	}
+	return s.backend.WriteList(v)
+}
+
+// ReadList atomically reads from the newest published snapshot.
+func (s *Store) ReadList(q ExtentList) ([]byte, Version, error) { return s.backend.ReadList(q) }
+
+// ReadListAt reads from a specific published snapshot; snapshots are
+// immutable, so this is stable against concurrent writers.
+func (s *Store) ReadListAt(v Version, q ExtentList) ([]byte, error) {
+	return s.backend.ReadListAt(v, q)
+}
+
+// ReadAt is the contiguous convenience form of ReadListAt.
+func (s *Store) ReadAt(v Version, off, length int64) ([]byte, error) {
+	return s.backend.ReadListAt(v, ExtentList{{Offset: off, Length: length}})
+}
+
+// Latest returns the newest published snapshot version.
+func (s *Store) Latest() (Version, error) { return s.backend.Latest() }
+
+// Versions enumerates all published snapshots (0 is the empty one).
+func (s *Store) Versions() ([]Version, error) { return s.backend.Versions() }
+
+// Size returns the current file size.
+func (s *Store) Size() (int64, error) { return s.backend.Size() }
+
+// Diff returns the byte ranges that may differ between two published
+// snapshots. The cost is proportional to the metadata that changed,
+// not to the file size, so consumers (e.g. visualization of simulation
+// output) can fetch exactly what a new timestep touched.
+func (s *Store) Diff(a, b Version) (ExtentList, error) { return s.backend.Diff(a, b) }

@@ -1,0 +1,115 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+func TestStoreQuickPath(t *testing.T) {
+	store, err := repro.NewStore(repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := store.Write(100, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.ReadAt(v, 100, 5)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	sz, err := store.Size()
+	if err != nil || sz != 105 {
+		t.Fatalf("size = %d, %v", sz, err)
+	}
+}
+
+func TestStoreWriteListAtomicSnapshot(t *testing.T) {
+	store, err := repro.NewStore(repro.Options{Providers: 4, ChunkSize: 4096, Span: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := repro.ExtentList{{Offset: 0, Length: 4}, {Offset: 8192, Length: 4}}
+	v1, err := store.WriteList(repro.MustVec(l, []byte("aaaabbbb")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := store.WriteList(repro.MustVec(l, []byte("ccccdddd")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := store.ReadListAt(v1, l)
+	if err != nil || !bytes.Equal(old, []byte("aaaabbbb")) {
+		t.Fatalf("old snapshot = %q, %v", old, err)
+	}
+	cur, _, err := store.ReadList(l)
+	if err != nil || !bytes.Equal(cur, []byte("ccccdddd")) {
+		t.Fatalf("latest = %q, %v", cur, err)
+	}
+	if latest, _ := store.Latest(); latest != v2 {
+		t.Fatalf("latest version = %d, want %d", latest, v2)
+	}
+	vs, err := store.Versions()
+	if err != nil || len(vs) != 3 {
+		t.Fatalf("versions = %v, %v", vs, err)
+	}
+}
+
+func TestStoreConcurrentWritersAtomic(t *testing.T) {
+	store, err := repro.NewStore(repro.Options{Providers: 4, ChunkSize: 2048, Span: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := repro.ExtentList{{Offset: 0, Length: 512}, {Offset: 65536, Length: 512}}
+	const writers = 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(w + 1)}, 1024)
+			if _, err := store.WriteList(repro.MustVec(l, buf)); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got, _, err := store.ReadList(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := got[0]
+	for i, b := range got {
+		if b != first {
+			t.Fatalf("interleaving at byte %d", i)
+		}
+	}
+}
+
+func TestMustVecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustVec must panic on bad input")
+		}
+	}()
+	repro.MustVec(repro.ExtentList{{Offset: 0, Length: 4}}, []byte("toolongbuffer"))
+}
+
+func TestOptionsValidationPropagates(t *testing.T) {
+	if _, err := repro.NewStore(repro.Options{ChunkSize: -5}); err == nil {
+		t.Fatal("negative chunk size must fail")
+	}
+}
+
+func ExampleStore() {
+	store, _ := repro.NewStore(repro.Options{})
+	l := repro.ExtentList{{Offset: 0, Length: 2}, {Offset: 10, Length: 2}}
+	v, _ := store.WriteList(repro.MustVec(l, []byte("abcd")))
+	data, _ := store.ReadListAt(v, l)
+	fmt.Printf("v%d %q\n", v, data)
+	// Output: v1 "abcd"
+}
