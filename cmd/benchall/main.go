@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/vmanager"
 	"repro/internal/workload"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		runE4(*quick)
 		runE5(*quick)
 		runE7(*quick)
+		runE8(*quick)
 	}
 	runE6(*quick)
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
@@ -232,6 +234,47 @@ func runE7(quick bool) {
 				fmt.Sprintf("%.1f", res.ReadMBps),
 				fmt.Sprintf("%.1fms", float64(res.MeanReadLatency.Microseconds())/1000),
 				fmt.Sprintf("%.1fms", float64(res.MaxReadLatency.Microseconds())/1000),
+			)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E8: group commit — overlapped small writes through write pipes, with
+// the version manager's group-commit pipeline at increasing batch
+// sizes. Small calls make the per-call control round trips (ticket
+// grant + publish) the bottleneck; group commit amortizes them.
+func runE8(quick bool) {
+	clients := []int{8, 16, 32}
+	iters := 16
+	if quick {
+		clients = []int{16}
+		iters = 8
+	}
+	batches := []int{1, 8, 64}
+	tbl := bench.NewTable("E8: group-commit write pipeline (4 regions x 4 KiB per call, overlap 0.75, pipe depth 4)",
+		"clients", "batch", "MB/s", "elapsed", "speedup vs batch=1")
+	for _, n := range clients {
+		spec := workload.OverlapSpec{Clients: n, Regions: 4, RegionSize: 4 << 10, OverlapFraction: 0.75}
+		var base float64
+		for _, mb := range batches {
+			cfg := vmanager.BatchConfig{MaxBatch: mb, MaxDelay: 50 * time.Microsecond}
+			res, err := bench.RunSmallWrites(env(), spec, bench.SmallWriteOptions{
+				Iterations: iters, Batch: cfg, PipeDepth: 4,
+			})
+			if err != nil {
+				die(err)
+			}
+			if mb == 1 {
+				base = res.MBps
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%d", n),
+				bench.BatchLabel(cfg),
+				fmt.Sprintf("%.1f", res.MBps),
+				fmt.Sprintf("%.3fs", res.Elapsed.Seconds()),
+				fmt.Sprintf("%.2fx", bench.Ratio(res.MBps, base)),
 			)
 		}
 	}

@@ -3,6 +3,7 @@
 //
 //	blobseerd -listen :4000 -roles vm,meta,data
 //	blobseerd -listen :4001 -roles data -providers 16
+//	blobseerd -listen :4002 -roles vm -batch 32 -batch-delay 200us
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
 // of the three roles, which may be the same node or different nodes.
@@ -15,6 +16,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/iosim"
 	"repro/internal/metadata"
@@ -25,11 +27,13 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:4000", "listen address")
-		rolesFlag = flag.String("roles", "vm,meta,data", "roles to host: vm, meta, data")
-		providers = flag.Int("providers", 8, "data providers behind this node (data role)")
-		shards    = flag.Int("shards", 8, "metadata shards (meta role)")
-		simulate  = flag.Bool("simulate", false, "charge the synthetic cost models")
+		listen     = flag.String("listen", "127.0.0.1:4000", "listen address")
+		rolesFlag  = flag.String("roles", "vm,meta,data", "roles to host: vm, meta, data")
+		providers  = flag.Int("providers", 8, "data providers behind this node (data role)")
+		shards     = flag.Int("shards", 8, "metadata shards (meta role)")
+		simulate   = flag.Bool("simulate", false, "charge the synthetic cost models")
+		batch      = flag.Int("batch", 1, "version manager group-commit size (vm role; 1 disables)")
+		batchDelay = flag.Duration("batch-delay", 200*time.Microsecond, "max time a group leader lingers for the group to fill")
 	)
 	flag.Parse()
 
@@ -45,6 +49,7 @@ func main() {
 		switch strings.TrimSpace(role) {
 		case "vm":
 			roles.VM = vmanager.New(ctrlModel)
+			roles.VM.SetBatching(vmanager.BatchConfig{MaxBatch: *batch, MaxDelay: *batchDelay})
 		case "meta":
 			roles.Meta = metadata.NewStore(*shards, metaModel)
 		case "data":

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/vmanager"
+	"repro/internal/workload"
+)
+
+// The small-write scenario must run and account correctly on the free
+// model for every batch size.
+func TestRunSmallWrites(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 4, Regions: 4, RegionSize: 4 << 10, OverlapFraction: 0.75}
+	for _, mb := range []int{1, 8, 64} {
+		opts := SmallWriteOptions{
+			Iterations: 3,
+			Batch:      vmanager.BatchConfig{MaxBatch: mb, MaxDelay: 100 * time.Microsecond},
+			PipeDepth:  4,
+		}
+		res, err := RunSmallWrites(cluster.Default(), spec, opts)
+		if err != nil {
+			t.Fatalf("maxbatch=%d: %v", mb, err)
+		}
+		if res.Calls != 12 {
+			t.Fatalf("maxbatch=%d: calls = %d, want 12", mb, res.Calls)
+		}
+		if want := int64(12) * spec.BytesPerClient(); res.Bytes != want {
+			t.Fatalf("maxbatch=%d: bytes = %d, want %d", mb, res.Bytes, want)
+		}
+		if res.MBps <= 0 {
+			t.Fatalf("maxbatch=%d: non-positive throughput", mb)
+		}
+	}
+}
+
+// On the metered cost model, group commit must beat one control round
+// trip per call — the PR's acceptance criterion. The margin is large
+// (the control path dominates 4 KiB regions), so the > threshold is
+// safe against scheduler noise.
+func TestSmallWritesBatchedBeatsUnbatchedMetered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metered comparison is wall-clock-bound")
+	}
+	spec := workload.OverlapSpec{Clients: 16, Regions: 4, RegionSize: 4 << 10, OverlapFraction: 0.75}
+	run := func(mb int) float64 {
+		res, err := RunSmallWrites(cluster.Metered(), spec, SmallWriteOptions{
+			Iterations: 6,
+			Batch:      vmanager.BatchConfig{MaxBatch: mb, MaxDelay: 200 * time.Microsecond},
+			PipeDepth:  4,
+		})
+		if err != nil {
+			t.Fatalf("maxbatch=%d: %v", mb, err)
+		}
+		return res.MBps
+	}
+	unbatched := run(1)
+	batched := run(64)
+	t.Logf("unbatched %.1f MB/s, batched %.1f MB/s (%.2fx)", unbatched, batched, batched/unbatched)
+	if batched <= unbatched {
+		t.Fatalf("batched %.1f MB/s not faster than unbatched %.1f MB/s", batched, unbatched)
+	}
+}

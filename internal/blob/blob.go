@@ -236,6 +236,14 @@ func (b *Blob) storeChunks(version uint64, vec extent.Vec, parallelism int) ([]s
 	return placed, nil
 }
 
+// WaitPublished blocks until version v is published, making it visible
+// to ReadLatest. Pipelined writers use this to flush a train of NoWait
+// writes with one wait on the train's last version (publication is in
+// ticket order, so waiting on the last covers them all).
+func (b *Blob) WaitPublished(v uint64) error {
+	return b.svc.VM.WaitPublished(b.id, v)
+}
+
 // ReadList atomically reads a non-contiguous vector of extents from the
 // snapshot with the given version, filling and returning a buffer laid
 // out in list order. Unwritten bytes read as zero.

@@ -38,6 +38,11 @@ type Env struct {
 	DataModel iosim.CostModel // per provider / OST
 	MetaModel iosim.CostModel // per metadata shard
 	CtrlModel iosim.CostModel // version manager, lock manager, detector RPCs
+
+	// VMBatch configures the version manager's group-commit pipeline
+	// (versioning deployments only). The zero value disables batching:
+	// one control round trip per request, the pre-batching behavior.
+	VMBatch vmanager.BatchConfig
 }
 
 // Default returns the unmetered environment used by tests.
@@ -87,8 +92,10 @@ func NewVersioning(env Env) (*Versioning, error) {
 		return nil, err
 	}
 	mgr, _ := provider.NewPool(env.Providers, env.DataModel)
+	vm := vmanager.New(env.CtrlModel)
+	vm.SetBatching(env.VMBatch)
 	return &Versioning{
-		VM:        vmanager.New(env.CtrlModel),
+		VM:        vm,
 		Meta:      metadata.NewStore(env.MetaShards, env.MetaModel),
 		Providers: mgr,
 		Router:    provider.NewRouter(mgr),

@@ -10,6 +10,15 @@
 // under heavy overlapped concurrency, where lock-based designs
 // serialize. The lock-based designs it is compared against implement
 // this same interface in internal/lockfs and internal/mpiio.
+//
+// For write-intensive small-call workloads the versioning backend also
+// offers a pipelined write path (WritePipe, see pipe.go): writes are
+// submitted asynchronously with bounded depth, their chunk I/O overlaps
+// the publication of earlier calls, and a single Flush waits for the
+// train's last version. Pipelining pairs with the version manager's
+// group commit (vmanager.BatchConfig): a deep pipe keeps the manager's
+// queue full, so tickets and publications are granted in amortized
+// groups instead of one control round trip per call.
 package core
 
 import (

@@ -62,13 +62,13 @@ type Manager struct {
 
 type waiter struct {
 	id   uint64
-	e    extent.Extent
+	l    extent.List // one or more disjoint ranges, granted atomically
 	mode Mode
 }
 
 // conflicts reports whether two requests are incompatible.
 func conflicts(a, b *waiter) bool {
-	if !a.e.Overlaps(b.e) {
+	if !a.l.Overlaps(b.l) {
 		return false
 	}
 	return a.mode == Exclusive || b.mode == Exclusive
@@ -86,10 +86,13 @@ func New(model iosim.CostModel) *Manager {
 // Meter exposes the request meter.
 func (m *Manager) Meter() *iosim.Meter { return m.meter }
 
-// Grant represents a held lock; Release returns it.
+// Grant represents a held lock; Release returns it. A grant covering a
+// multi-range list charges one unlock RPC per range on release,
+// mirroring the per-extent charges of its acquisition.
 type Grant struct {
-	m  *Manager
-	id uint64
+	m     *Manager
+	id    uint64
+	units int // ranges covered; one unlock RPC each
 
 	released bool
 }
@@ -99,9 +102,16 @@ type Grant struct {
 // requests.
 func (m *Manager) Acquire(e extent.Extent, mode Mode) *Grant {
 	m.meter.Charge(0) // lock-request RPC
+	return m.acquire(extent.List{e}, mode)
+}
+
+// acquire queues one (possibly multi-range) waiter and blocks until the
+// whole request is grantable at once; the caller has already charged
+// the request RPCs.
+func (m *Manager) acquire(l extent.List, mode Mode) *Grant {
 	start := time.Now()
 	m.mu.Lock()
-	w := &waiter{id: m.nextID, e: e, mode: mode}
+	w := &waiter{id: m.nextID, l: l, mode: mode}
 	m.nextID++
 	m.pending = append(m.pending, w)
 	if q := int64(len(m.pending)); q > m.maxQueue.Load() {
@@ -121,20 +131,28 @@ func (m *Manager) Acquire(e extent.Extent, mode Mode) *Grant {
 	m.mu.Unlock()
 	m.acquires.Add(1)
 	m.waitNanos.Add(int64(time.Since(start)))
-	return &Grant{m: m, id: w.id}
+	return &Grant{m: m, id: w.id, units: len(l)}
 }
 
-// AcquireList locks every extent of the (normalized) list, acquiring in
-// ascending offset order so concurrent list acquisitions cannot
-// deadlock (two-phase locking with ordered acquisition). The returned
-// grants must all be released.
+// AcquireList locks every extent of the (normalized) list, charging one
+// lock-request RPC per extent but granting the list atomically: the
+// request waits until every range is free and then takes them all at
+// once. All-or-nothing granting is what makes concurrent list
+// acquisitions deadlock-free — incremental acquisition (even in
+// ascending order) deadlocks against this manager's FIFO fairness,
+// because a request queued behind a conflicting pending request waits
+// on a waiter, not a holder: writer A holding X1 and queueing for X2
+// behind B's pending request deadlocks when B's request waits on X1.
+// The returned grants must all be released.
 func (m *Manager) AcquireList(l extent.List, mode Mode) []*Grant {
 	norm := l.Normalize()
-	grants := make([]*Grant, 0, len(norm))
-	for _, e := range norm {
-		grants = append(grants, m.Acquire(e, mode))
+	if len(norm) == 0 {
+		return nil
 	}
-	return grants
+	for range norm {
+		m.meter.Charge(0) // one lock-request RPC per extent
+	}
+	return []*Grant{m.acquire(norm, mode)}
 }
 
 // grantable reports whether w conflicts with no held lock and no
@@ -162,7 +180,9 @@ func (g *Grant) Release() {
 		return
 	}
 	g.released = true
-	g.m.meter.Charge(0) // unlock RPC
+	for i := 0; i < g.units; i++ {
+		g.m.meter.Charge(0) // unlock RPC per locked range
+	}
 	g.m.mu.Lock()
 	delete(g.m.held, g.id)
 	g.m.cond.Broadcast()

@@ -201,3 +201,66 @@ func TestMeterCharged(t *testing.T) {
 		t.Fatalf("meter ops = %d, want 2", got)
 	}
 }
+
+// TestAcquireListCrossingListsNoDeadlock pins the deadlock the
+// atomicity torture suite found in the incremental AcquireList: with
+// FIFO fairness, writer A holding X1 and queueing for X2 behind B's
+// pending request deadlocks when B's request waits on X1. Atomic
+// (all-or-nothing) list granting must survive crossing lists under
+// heavy concurrency.
+func TestAcquireListCrossingListsNoDeadlock(t *testing.T) {
+	m := New(iosim.CostModel{})
+	// Interlocking lists: A's second range overlaps B's first, B's
+	// second overlaps A's first — the hold-and-wait cycle shape.
+	la := extent.List{{Offset: 0, Length: 20}, {Offset: 40, Length: 20}}
+	lb := extent.List{{Offset: 10, Length: 40}}
+	lc := extent.List{{Offset: 30, Length: 20}, {Offset: 70, Length: 10}}
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		for _, l := range []extent.List{la, lb, lc} {
+			wg.Add(1)
+			go func(l extent.List) {
+				defer wg.Done()
+				ReleaseAll(m.AcquireList(l, Exclusive))
+			}(l)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("crossing AcquireList deadlocked")
+	}
+	if m.HeldCount() != 0 {
+		t.Fatalf("leaked %d locks", m.HeldCount())
+	}
+}
+
+// An AcquireList grant must be atomic: while any range of the list is
+// held, no conflicting single acquire may slip in between the list's
+// ranges.
+func TestAcquireListGrantsAtomically(t *testing.T) {
+	m := New(iosim.CostModel{})
+	grants := m.AcquireList(extent.List{{Offset: 0, Length: 10}, {Offset: 50, Length: 10}}, Exclusive)
+	acquired := make(chan struct{})
+	go func() {
+		g := m.Acquire(extent.Extent{Offset: 55, Length: 2}, Exclusive)
+		close(acquired)
+		g.Release()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("conflicting acquire succeeded while list grant held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	ReleaseAll(grants)
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire never granted after list release")
+	}
+	if len(grants) == 0 {
+		t.Fatal("empty grant slice for non-empty list")
+	}
+}

@@ -1,0 +1,132 @@
+package remote
+
+import (
+	"errors"
+
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+// Batch RPC endpoints: one round trip carries a whole group of ticket
+// grants or publishes, mirroring the version manager's group-commit
+// pipeline across the wire. Failures are per-item (encoded as strings,
+// since net/rpc's gob stream cannot carry error values); the RPC itself
+// only fails on transport problems, so one bad request never poisons
+// its batch peers.
+
+// TicketBatchArgs carries several ticket requests.
+type TicketBatchArgs struct {
+	Reqs []TicketArgs
+}
+
+// TicketBatchItem is one per-request outcome.
+type TicketBatchItem struct {
+	Ticket vmanager.Ticket
+	Err    string // empty on success
+}
+
+// TicketBatchReply carries the per-request outcomes, in request order.
+type TicketBatchReply struct {
+	Items []TicketBatchItem
+}
+
+// AssignTicketBatch RPC: assigns the whole batch under one manager lock
+// acquisition (contiguous versions for same-blob requests).
+func (s *VMServer) AssignTicketBatch(a *TicketBatchArgs, reply *TicketBatchReply) error {
+	reqs := make([]vmanager.TicketRequest, len(a.Reqs))
+	for i, r := range a.Reqs {
+		reqs[i] = vmanager.TicketRequest{Blob: r.Blob, Extents: r.Extents}
+	}
+	res := s.M.AssignTicketBatch(reqs)
+	reply.Items = make([]TicketBatchItem, len(res))
+	for i, r := range res {
+		reply.Items[i].Ticket = r.Ticket
+		if r.Err != nil {
+			reply.Items[i].Err = r.Err.Error()
+		}
+	}
+	return nil
+}
+
+// PublishBatchArgs carries several Complete/Abort requests.
+type PublishBatchArgs struct {
+	Reqs []PublishItem
+}
+
+// PublishItem is one Complete (or, with Abort set, Abort) request.
+type PublishItem struct {
+	Blob    uint64
+	Version uint64
+	Root    segtree.NodeKey
+	Abort   bool
+}
+
+// PublishBatchReply carries per-request error strings, in request
+// order; empty string means success.
+type PublishBatchReply struct {
+	Errs []string
+}
+
+// CompleteBatch RPC: applies the whole batch under one manager lock
+// acquisition and publishes with one broadcast per blob.
+func (s *VMServer) CompleteBatch(a *PublishBatchArgs, reply *PublishBatchReply) error {
+	reqs := make([]vmanager.PublishRequest, len(a.Reqs))
+	for i, r := range a.Reqs {
+		reqs[i] = vmanager.PublishRequest{Blob: r.Blob, Version: r.Version, Root: r.Root, Abort: r.Abort}
+	}
+	errs := s.M.CompleteBatch(reqs)
+	reply.Errs = make([]string, len(errs))
+	for i, err := range errs {
+		if err != nil {
+			reply.Errs[i] = err.Error()
+		}
+	}
+	return nil
+}
+
+// AssignTicketBatch sends a whole batch of ticket requests in one round
+// trip and returns per-request results in request order.
+func (c *Client) AssignTicketBatch(reqs []vmanager.TicketRequest) ([]vmanager.TicketResult, error) {
+	args := TicketBatchArgs{Reqs: make([]TicketArgs, len(reqs))}
+	for i, r := range reqs {
+		args.Reqs[i] = TicketArgs{Blob: r.Blob, Extents: r.Extents}
+	}
+	var reply TicketBatchReply
+	if err := c.vm.Call(vmService+".AssignTicketBatch", &args, &reply); err != nil {
+		return nil, err
+	}
+	if len(reply.Items) != len(reqs) {
+		return nil, errors.New("remote: ticket batch reply length mismatch")
+	}
+	out := make([]vmanager.TicketResult, len(reply.Items))
+	for i, it := range reply.Items {
+		out[i].Ticket = it.Ticket
+		if it.Err != "" {
+			out[i].Err = errors.New(it.Err)
+		}
+	}
+	return out, nil
+}
+
+// CompleteBatch sends a whole batch of Complete/Abort requests in one
+// round trip and returns per-request errors in request order.
+func (c *Client) CompleteBatch(reqs []vmanager.PublishRequest) ([]error, error) {
+	args := PublishBatchArgs{Reqs: make([]PublishItem, len(reqs))}
+	for i, r := range reqs {
+		args.Reqs[i] = PublishItem{Blob: r.Blob, Version: r.Version, Root: r.Root, Abort: r.Abort}
+	}
+	var reply PublishBatchReply
+	if err := c.vm.Call(vmService+".CompleteBatch", &args, &reply); err != nil {
+		return nil, err
+	}
+	if len(reply.Errs) != len(reqs) {
+		return nil, errors.New("remote: publish batch reply length mismatch")
+	}
+	out := make([]error, len(reply.Errs))
+	for i, e := range reply.Errs {
+		if e != "" {
+			out[i] = errors.New(e)
+		}
+	}
+	return out, nil
+}

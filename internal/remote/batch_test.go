@@ -1,0 +1,130 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/extent"
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+// One RPC round trip must carry a whole batch of ticket grants, with
+// per-item failures (gob-encoded as strings) that leave the good
+// requests intact and contiguous.
+func TestBatchTicketRPCRoundTrip(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+
+	if err := c.CreateBlob(7, segtree.Geometry{Capacity: 1 << 20, Page: 1 << 12}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AssignTicketBatch([]vmanager.TicketRequest{
+		{Blob: 7, Extents: extent.List{{Offset: 0, Length: 4096}}},
+		{Blob: 99, Extents: extent.List{{Offset: 0, Length: 10}}}, // unknown blob
+		{Blob: 7, Extents: extent.List{{Offset: 2048, Length: 4096}}},
+		{Blob: 7, Extents: nil}, // empty write
+	})
+	if err != nil {
+		t.Fatalf("AssignTicketBatch transport error: %v", err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d results, want 4", len(res))
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("good requests failed: %v, %v", res[0].Err, res[2].Err)
+	}
+	if res[0].Ticket.Version != 1 || res[2].Ticket.Version != 2 {
+		t.Fatalf("good requests got versions %d, %d; want contiguous 1, 2",
+			res[0].Ticket.Version, res[2].Ticket.Version)
+	}
+	if res[1].Err == nil || !strings.Contains(res[1].Err.Error(), "unknown blob") {
+		t.Fatalf("unknown blob item: %v", res[1].Err)
+	}
+	if res[3].Err == nil || !strings.Contains(res[3].Err.Error(), "empty extent list") {
+		t.Fatalf("empty write item: %v", res[3].Err)
+	}
+	// Borrow answers must survive gob: request 2 overlaps request 1's
+	// pages, so it must have borrowed version 1 somewhere.
+	var sawBorrow bool
+	for _, v := range res[2].Ticket.Borrows {
+		if v == 1 {
+			sawBorrow = true
+		}
+	}
+	if !sawBorrow {
+		t.Fatalf("borrow answers lost in transit: %v", res[2].Ticket.Borrows)
+	}
+}
+
+// CompleteBatch must publish the batch in ticket order with per-item
+// partial-failure reporting, and the published snapshots must be
+// observable through the regular single-call API.
+func TestBatchCompleteRPCPartialFailure(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+
+	if err := c.CreateBlob(7, segtree.Geometry{Capacity: 1 << 20, Page: 1 << 12}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AssignTicketBatch([]vmanager.TicketRequest{
+		{Blob: 7, Extents: extent.List{{Offset: 0, Length: 4096}}},
+		{Blob: 7, Extents: extent.List{{Offset: 4096, Length: 4096}}},
+		{Blob: 7, Extents: extent.List{{Offset: 8192, Length: 4096}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, err := c.CompleteBatch([]vmanager.PublishRequest{
+		{Blob: 7, Version: res[0].Ticket.Version, Root: segtree.NodeKey{Version: 1}},
+		{Blob: 7, Version: 42}, // unassigned version
+		{Blob: 7, Version: res[1].Ticket.Version, Abort: true},
+		{Blob: 7, Version: res[2].Ticket.Version, Root: segtree.NodeKey{Version: 3}},
+	})
+	if err != nil {
+		t.Fatalf("CompleteBatch transport error: %v", err)
+	}
+	if errs[0] != nil || errs[2] != nil || errs[3] != nil {
+		t.Fatalf("good items failed: %v", errs)
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "unassigned") {
+		t.Fatalf("unassigned item: %v", errs[1])
+	}
+	// All three tickets resolved (one aborted), so everything publishes.
+	if err := c.WaitPublished(7, res[2].Ticket.Version); err != nil {
+		t.Fatalf("WaitPublished: %v", err)
+	}
+	info, err := c.LatestPublished(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != res[2].Ticket.Version {
+		t.Fatalf("latest published %d, want %d", info.Version, res[2].Ticket.Version)
+	}
+	// The aborted version shares its predecessor's root (empty snapshot).
+	s1, err := c.Snapshot(7, res[0].Ticket.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Snapshot(7, res[1].Ticket.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Root != s1.Root {
+		t.Fatalf("aborted snapshot root %v, want predecessor's %v", s2.Root, s1.Root)
+	}
+}
+
+// Empty batches must round-trip without tripping length validation.
+func TestBatchRPCEmpty(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialClient(t, ep)
+	res, err := c.AssignTicketBatch(nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty ticket batch = (%v, %v)", res, err)
+	}
+	errs, err := c.CompleteBatch(nil)
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("empty publish batch = (%v, %v)", errs, err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package torture is a randomized atomicity torture harness: N
+// goroutine writers fire overlap-heavy random extent lists at a storage
+// backend, and the final state is checked for serializability with
+// internal/verify — the experimental definition of MPI atomic mode.
+// Every backend that claims MPI atomicity (the versioning backend,
+// batched or not, and every locking strategy of the Lustre-like
+// baseline) must survive this suite; it is the safety net under which
+// the version manager's group-commit pipeline was built.
+//
+// All randomness is derived from Config.Seed, and call generation
+// happens before any goroutine starts, so a failing run is reproduced
+// by its seed alone (the scheduler only picks WHICH serial order the
+// backend must be equivalent to, never the calls themselves).
+package torture
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/extent"
+	"repro/internal/mpiio"
+	"repro/internal/verify"
+)
+
+// Config parameterizes one torture run. All calls land inside a byte
+// window of the given size, which is what makes the workload
+// overlap-heavy: with Writers*CallsPerWriter extent lists drawn from
+// the same small window, most bytes are contested by several calls.
+type Config struct {
+	// Seed drives all randomness; equal seeds generate equal call sets.
+	Seed int64
+	// Writers is the number of concurrent writer goroutines.
+	Writers int
+	// CallsPerWriter is the number of atomic WriteList calls each
+	// writer issues, in its own sequence. Writers*CallsPerWriter must
+	// stay <= 255 (verify stamp bytes).
+	CallsPerWriter int
+	// Window is the size of the contested byte range.
+	Window int64
+	// MaxExtents bounds the extents per call (>= 1).
+	MaxExtents int
+	// MaxExtentLen bounds each extent's length (>= 1).
+	MaxExtentLen int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Writers < 1 || c.CallsPerWriter < 1 {
+		return fmt.Errorf("torture: need positive writers/calls, got %+v", c)
+	}
+	if c.Writers*c.CallsPerWriter > 255 {
+		return fmt.Errorf("torture: %d calls exceed the 255 stamp-byte limit", c.Writers*c.CallsPerWriter)
+	}
+	if c.Window < 1 || c.MaxExtents < 1 || c.MaxExtentLen < 1 {
+		return fmt.Errorf("torture: need positive window/extents/length, got %+v", c)
+	}
+	return nil
+}
+
+// Calls deterministically generates the per-writer call lists. Call IDs
+// are dense in [1, Writers*CallsPerWriter], writer-major.
+func (c Config) Calls() ([][]verify.Call, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	out := make([][]verify.Call, c.Writers)
+	for w := 0; w < c.Writers; w++ {
+		out[w] = make([]verify.Call, c.CallsPerWriter)
+		for k := 0; k < c.CallsPerWriter; k++ {
+			n := 1 + rng.Intn(c.MaxExtents)
+			var l extent.List
+			for i := 0; i < n; i++ {
+				length := 1 + rng.Int63n(c.MaxExtentLen)
+				if length > c.Window {
+					length = c.Window
+				}
+				off := rng.Int63n(c.Window - length + 1)
+				l = append(l, extent.Extent{Offset: off, Length: length})
+			}
+			// Normalize: extents within one call must not overlap each
+			// other (a single MPI call's regions are disjoint); merging
+			// random draws enforces that without biasing the layout.
+			out[w][k] = verify.Call{ID: w*c.CallsPerWriter + k + 1, Extents: l.Normalize()}
+		}
+	}
+	return out, nil
+}
+
+// Span returns the byte range a run touches (the whole window).
+func (c Config) Span() int64 { return c.Window }
+
+// Run drives the configured calls concurrently against the driver —
+// each writer goroutine issuing its calls in sequence, all writers
+// racing — then reads the final state back and checks that it is
+// equivalent to some serial order of the whole calls. Any error is
+// wrapped with the seed so the run can be replayed.
+func Run(d mpiio.Driver, cfg Config) error {
+	perWriter, err := cfg.Calls()
+	if err != nil {
+		return err
+	}
+	errs := make([]error, cfg.Writers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, call := range perWriter[w] {
+				vec, err := verify.MakeVec(call)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if err := d.WriteList(vec, true); err != nil {
+					errs[w] = fmt.Errorf("call %d: %w", call.ID, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return fmt.Errorf("torture(seed=%d): writer %d: %w", cfg.Seed, w, err)
+		}
+	}
+	var all []verify.Call
+	for _, calls := range perWriter {
+		all = append(all, calls...)
+	}
+	if err := verify.CheckCalls(reader{d}, all); err != nil {
+		return fmt.Errorf("torture(seed=%d): %w", cfg.Seed, err)
+	}
+	return nil
+}
+
+// reader adapts a driver to the verifier's read interface.
+type reader struct{ d mpiio.Driver }
+
+func (r reader) ReadList(q extent.List, atomic bool) ([]byte, error) {
+	return r.d.ReadList(q, atomic)
+}

@@ -1,0 +1,244 @@
+package vmanager
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/extent"
+	"repro/internal/segtree"
+)
+
+// BatchConfig tunes the manager's group-commit pipeline.
+type BatchConfig struct {
+	// MaxBatch bounds how many requests one group commit may carry.
+	// Values <= 1 disable batching: every request pays its own lock
+	// acquisition and control round trip (the pre-batching behavior).
+	MaxBatch int
+	// MaxDelay bounds how long a group leader lingers waiting for the
+	// group to fill before committing what it has. Zero commits
+	// opportunistically: whatever queued while the previous group was
+	// being applied forms the next group.
+	MaxDelay time.Duration
+}
+
+// SetBatching configures group commit. Safe to call concurrently with
+// requests; in-flight groups finish under the configuration they
+// started with.
+func (m *Manager) SetBatching(cfg BatchConfig) {
+	m.batchMu.Lock()
+	defer m.batchMu.Unlock()
+	m.batch = cfg
+}
+
+// Batching returns the current group-commit configuration.
+func (m *Manager) Batching() BatchConfig {
+	m.batchMu.Lock()
+	defer m.batchMu.Unlock()
+	return m.batch
+}
+
+// TicketRequest is one AssignTicket call inside a batch.
+type TicketRequest struct {
+	Blob    uint64
+	Extents extent.List
+}
+
+// TicketResult is the per-request outcome of a batched ticket assign.
+type TicketResult struct {
+	Ticket Ticket
+	Err    error
+}
+
+// PublishRequest is one Complete (or Abort) call inside a batch.
+type PublishRequest struct {
+	Blob    uint64
+	Version uint64
+	Root    segtree.NodeKey
+	Abort   bool
+}
+
+// AssignTicketBatch assigns tickets for a whole batch of requests under
+// one lock acquisition and one metered control round trip. Requests are
+// applied in slice order, so same-blob requests receive contiguous
+// versions and each request's borrow answers reflect every earlier
+// request in the batch. Failures are per-request: one bad request never
+// poisons its batch peers.
+func (m *Manager) AssignTicketBatch(reqs []TicketRequest) []TicketResult {
+	out := make([]TicketResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range reqs {
+		e := r.Extents.Normalize()
+		if len(e) == 0 {
+			out[i].Err = ErrEmptyWrite
+			continue
+		}
+		out[i].Ticket, out[i].Err = m.assignTicketLocked(r.Blob, e)
+	}
+	return out
+}
+
+// CompleteBatch applies a whole batch of Complete/Abort requests under
+// one lock acquisition and one metered control round trip, then
+// publishes everything that became ready with a single broadcast per
+// blob. Failures are per-request.
+func (m *Manager) CompleteBatch(reqs []PublishRequest) []error {
+	out := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	m.meter.Charge(0)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	touched := make(map[*blobState]bool)
+	for i, r := range reqs {
+		st, err := m.completeLocked(r.Blob, r.Version, r.Root, r.Abort)
+		if err != nil {
+			out[i] = err
+			continue
+		}
+		touched[st] = true
+	}
+	for st := range touched {
+		if st.publishReady() {
+			st.cond.Broadcast()
+		}
+	}
+	return out
+}
+
+// --- Group-commit combiner ---
+
+// ticketReq is the combiner's internal AssignTicket request (extents
+// already normalized and non-empty).
+type ticketReq struct {
+	blob uint64
+	ext  extent.List
+}
+
+// applyTicketBatch is the tickets combiner's apply function; it shares
+// AssignTicketBatch's one-charge one-lock core.
+func (m *Manager) applyTicketBatch(batch []*pending[ticketReq, Ticket]) {
+	reqs := make([]TicketRequest, len(batch))
+	for i, p := range batch {
+		reqs[i] = TicketRequest{Blob: p.req.blob, Extents: p.req.ext}
+	}
+	for i, r := range m.AssignTicketBatch(reqs) {
+		batch[i].resp, batch[i].err = r.Ticket, r.Err
+	}
+}
+
+// applyPublishBatch is the commits combiner's apply function; it shares
+// CompleteBatch's one-charge one-lock one-broadcast core.
+func (m *Manager) applyPublishBatch(batch []*pending[PublishRequest, struct{}]) {
+	reqs := make([]PublishRequest, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+	}
+	for i, err := range m.CompleteBatch(reqs) {
+		batch[i].err = err
+	}
+}
+
+// pending is one caller waiting inside a combiner queue. The leader
+// fills resp/err before closing done.
+type pending[Req, Resp any] struct {
+	req  Req
+	resp Resp
+	err  error
+	done chan struct{}
+}
+
+// combiner implements leader/follower group commit (flat combining):
+// the first caller to find the queue idle becomes the leader, optionally
+// lingers for the group to fill, then applies the whole group in one
+// shot and keeps draining until the queue is empty, so no follower is
+// ever stranded. Followers just wait for their slot's result. There is
+// no background goroutine: the pipeline costs nothing when idle and
+// degenerates to the direct path at MaxBatch 1 (the caller skips the
+// combiner entirely then, see AssignTicket/Complete).
+type combiner[Req, Resp any] struct {
+	apply func([]*pending[Req, Resp])
+
+	mu     sync.Mutex
+	queue  []*pending[Req, Resp]
+	busy   bool          // a leader is lingering or draining
+	filled chan struct{} // signalled when the queue reaches MaxBatch
+}
+
+func newCombiner[Req, Resp any](apply func([]*pending[Req, Resp])) *combiner[Req, Resp] {
+	return &combiner[Req, Resp]{apply: apply, filled: make(chan struct{}, 1)}
+}
+
+// do submits one request and blocks until a group commit containing it
+// has been applied.
+func (c *combiner[Req, Resp]) do(req Req, cfg BatchConfig) (Resp, error) {
+	p := &pending[Req, Resp]{req: req, done: make(chan struct{})}
+	c.mu.Lock()
+	c.queue = append(c.queue, p)
+	if c.busy {
+		full := len(c.queue) >= cfg.MaxBatch
+		c.mu.Unlock()
+		if full {
+			// Wake a lingering leader early; dropping the signal when
+			// one is already pending is fine.
+			select {
+			case c.filled <- struct{}{}:
+			default:
+			}
+		}
+		<-p.done
+		return p.resp, p.err
+	}
+	c.busy = true
+	c.mu.Unlock()
+
+	// Leader: discard any stale fill signal, then linger for the group
+	// to fill (bounded by MaxDelay).
+	select {
+	case <-c.filled:
+	default:
+	}
+	if cfg.MaxDelay > 0 {
+		c.mu.Lock()
+		n := len(c.queue)
+		c.mu.Unlock()
+		if n < cfg.MaxBatch {
+			t := time.NewTimer(cfg.MaxDelay)
+			select {
+			case <-c.filled:
+				t.Stop()
+			case <-t.C:
+			}
+		}
+	}
+
+	// Drain until the queue is empty; only then may leadership lapse.
+	for {
+		c.mu.Lock()
+		var batch []*pending[Req, Resp]
+		if len(c.queue) > cfg.MaxBatch {
+			batch = c.queue[:cfg.MaxBatch:cfg.MaxBatch]
+			c.queue = append([]*pending[Req, Resp]{}, c.queue[cfg.MaxBatch:]...)
+		} else {
+			batch = c.queue
+			c.queue = nil
+		}
+		if len(batch) == 0 {
+			c.busy = false
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Unlock()
+		c.apply(batch)
+		for _, b := range batch {
+			close(b.done)
+		}
+	}
+	<-p.done // own request was in one of the drained groups
+	return p.resp, p.err
+}
