@@ -2,8 +2,11 @@
 // the full E1–E6 matrix of the paper's evaluation (scalability of
 // atomic overlapped non-contiguous writes, MPI-tile-IO, region-count
 // sweep, overlap sweep, striping sweep, and the headline throughput
-// ratio). Expect a full run to take a few minutes; -quick shrinks the
-// matrix for smoke runs.
+// ratio) plus the follow-on scenarios: E7 producer/consumer, E8 group
+// commit, and E9 chunk replication (write overhead of R copies and
+// degraded-read throughput with a provider killed mid-run). Expect a
+// full run to take a few minutes; -quick shrinks the matrix for smoke
+// runs.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 		runE5(*quick)
 		runE7(*quick)
 		runE8(*quick)
+		runE9(*quick)
 	}
 	runE6(*quick)
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
@@ -275,6 +279,51 @@ func runE8(quick bool) {
 				fmt.Sprintf("%.1f", res.MBps),
 				fmt.Sprintf("%.3fs", res.Elapsed.Seconds()),
 				fmt.Sprintf("%.2fx", bench.Ratio(res.MBps, base)),
+			)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E9: chunk replication — the write overhead of storing R copies on
+// distinct providers, and what one provider dying mid-run costs: with
+// R >= 2 reads fail over to surviving replicas (throughput dips, data
+// survives, repair restores R); with R = 1 the degraded phase loses
+// data outright.
+func runE9(quick bool) {
+	clients := []int{8, 16}
+	iters := 2
+	if quick {
+		clients = []int{8}
+		iters = 1
+	}
+	tbl := bench.NewTable("E9: replication (32 regions x 64 KiB, overlap 0.75; one provider killed mid-run)",
+		"clients", "R", "write MB/s", "write overhead", "read MB/s", "degraded MB/s", "repair", "repaired")
+	for _, n := range clients {
+		spec := workload.OverlapSpec{Clients: n, Regions: 32, RegionSize: 64 << 10, OverlapFraction: 0.75}
+		var base float64
+		for _, r := range []int{1, 2, 3} {
+			res, err := bench.RunReplicated(env(), spec, bench.ReplicatedOptions{Replicas: r, Iterations: iters})
+			if err != nil {
+				die(err)
+			}
+			if r == 1 {
+				base = res.WriteMBps
+			}
+			degraded := fmt.Sprintf("%.1f", res.DegradedMBps)
+			if res.DegradedErr != nil {
+				degraded = "data lost"
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", r),
+				fmt.Sprintf("%.1f", res.WriteMBps),
+				fmt.Sprintf("%.2fx", bench.Ratio(base, res.WriteMBps)),
+				fmt.Sprintf("%.1f", res.ReadMBps),
+				degraded,
+				fmt.Sprintf("%.1fms", float64(res.RepairElapsed.Microseconds())/1000),
+				fmt.Sprintf("%d", res.Repair.Repaired),
 			)
 		}
 	}

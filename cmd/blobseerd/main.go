@@ -2,7 +2,7 @@
 // host any subset of the three roles of the versioning service:
 //
 //	blobseerd -listen :4000 -roles vm,meta,data
-//	blobseerd -listen :4001 -roles data -providers 16
+//	blobseerd -listen :4001 -roles data -providers 16 -replicas 3
 //	blobseerd -listen :4002 -roles vm -batch 32 -batch-delay 200us
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
@@ -30,6 +30,8 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:4000", "listen address")
 		rolesFlag  = flag.String("roles", "vm,meta,data", "roles to host: vm, meta, data")
 		providers  = flag.Int("providers", 8, "data providers behind this node (data role)")
+		replicas   = flag.Int("replicas", 1, "copies stored per chunk, on distinct providers (data role)")
+		quorum     = flag.Int("quorum", 0, "copies that must land for a write to commit (0 = replicas-1, min 1)")
 		shards     = flag.Int("shards", 8, "metadata shards (meta role)")
 		simulate   = flag.Bool("simulate", false, "charge the synthetic cost models")
 		batch      = flag.Int("batch", 1, "version manager group-commit size (vm role; 1 disables)")
@@ -53,8 +55,18 @@ func main() {
 		case "meta":
 			roles.Meta = metadata.NewStore(*shards, metaModel)
 		case "data":
+			if *replicas > *providers {
+				fmt.Fprintf(os.Stderr, "-replicas %d exceeds -providers %d\n", *replicas, *providers)
+				os.Exit(2)
+			}
+			if r := max(*replicas, 1); *quorum > r {
+				fmt.Fprintf(os.Stderr, "-quorum %d exceeds -replicas %d\n", *quorum, r)
+				os.Exit(2)
+			}
 			pool, _ := provider.NewPool(*providers, dataModel)
 			roles.Data = provider.NewRouter(pool)
+			roles.Data.SetReplicas(*replicas)
+			roles.Data.SetWriteQuorum(*quorum)
 		case "":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown role %q (want vm, meta, data)\n", role)

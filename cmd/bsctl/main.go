@@ -6,6 +6,9 @@
 //	bsctl write -blob 1 -extents 0:5,100:5 -data "helloworld"
 //	bsctl read -blob 1 -extents 0:5,100:5 [-version 3]
 //	bsctl versions -blob 1
+//	bsctl down -provider 2        # mark a data provider dead
+//	bsctl up -provider 2          # revive it
+//	bsctl repair                  # re-replicate chunks that lost copies
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/extent"
+	"repro/internal/provider"
 	"repro/internal/remote"
 	"repro/internal/segtree"
 )
@@ -39,6 +43,7 @@ func main() {
 	extents := sub.String("extents", "", "comma-separated off:len pairs")
 	data := sub.String("data", "", "payload for write (repeated/truncated to fit)")
 	version := sub.Uint64("version", 0, "snapshot version for read (0 = latest)")
+	providerID := sub.Int("provider", -1, "data provider id (down/up)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -118,6 +123,23 @@ func main() {
 			fmt.Printf("v%-4d size %d\n", v, sz)
 		}
 
+	case "repair":
+		st, err := cli.Repair()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("repair: scanned %d, degraded %d, copied %d, repaired %d, lost %d, failed %d\n",
+			st.Scanned, st.Degraded, st.Copied, st.Repaired, st.Lost, st.Failed)
+
+	case "down", "up":
+		if *providerID < 0 {
+			fail(fmt.Errorf("bsctl: %s requires -provider", cmd))
+		}
+		if err := cli.SetProviderDown(provider.ID(*providerID), cmd == "down"); err != nil {
+			fail(err)
+		}
+		fmt.Printf("provider %d marked %s\n", *providerID, cmd)
+
 	default:
 		usage()
 	}
@@ -161,6 +183,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|repair|down|up [flags]")
 	os.Exit(2)
 }

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/extent"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+// ReplicatedOptions tunes RunReplicated.
+type ReplicatedOptions struct {
+	// Replicas is the replication degree R under test (>= 1).
+	Replicas int
+	// Iterations is the number of write calls per client (default 1).
+	Iterations int
+	// ReadCalls is the number of full-file reads per client in each
+	// read phase (default 2).
+	ReadCalls int
+}
+
+// ReplicatedResult is one measured replication cell: the write cost of
+// storing R copies, read throughput healthy and degraded (one provider
+// killed mid-run), and the cost of the repair pass that restores R.
+type ReplicatedResult struct {
+	Replicas      int
+	Clients       int
+	WriteMBps     float64
+	ReadMBps      float64 // all providers healthy
+	DegradedMBps  float64 // one provider down, reads fail over
+	DegradedErr   error   // non-nil when degraded reads fail (R=1: data loss)
+	RepairElapsed time.Duration
+	Repair        provider.RepairStats
+}
+
+// RunReplicated measures the replication scenario (experiment E9): N
+// clients issue atomic overlapped writes at replication degree R, read
+// the file back at full health, then a provider is killed mid-run and
+// the reads repeat degraded (served via replica failover), and finally
+// a repair pass restores the replication degree. R=1 documents the
+// baseline: its degraded phase loses data instead of throughput.
+func RunReplicated(env cluster.Env, spec workload.OverlapSpec, opts ReplicatedOptions) (ReplicatedResult, error) {
+	if err := spec.Validate(); err != nil {
+		return ReplicatedResult{}, err
+	}
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	reads := opts.ReadCalls
+	if reads <= 0 {
+		reads = 2
+	}
+	env.Replicas = opts.Replicas
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		return ReplicatedResult{}, err
+	}
+	be, err := svc.Backend(1, spec.FileSpan())
+	if err != nil {
+		return ReplicatedResult{}, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+	res := ReplicatedResult{Replicas: opts.Replicas, Clients: spec.Clients}
+
+	// Write phase: every client's extents, concurrently, R copies each.
+	start := time.Now()
+	errs := make([]error, spec.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exts := spec.ExtentsFor(w)
+			buf := make([]byte, exts.TotalLength())
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			for it := 0; it < iters; it++ {
+				vec, err := extent.NewVec(exts, buf)
+				if err == nil {
+					err = d.WriteList(vec, true)
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+	bytes := int64(spec.Clients) * int64(iters) * spec.BytesPerClient()
+	res.WriteMBps = mbps(bytes, elapsed)
+
+	span := spec.FileSpan()
+	readPhase := func() (float64, error) {
+		start := time.Now()
+		errs := make([]error, spec.Clients)
+		var wg sync.WaitGroup
+		for w := 0; w < spec.Clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < reads; i++ {
+					if _, err := d.ReadList(extent.List{{Offset: 0, Length: span}}, true); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return mbps(int64(spec.Clients)*int64(reads)*span, time.Since(start)), nil
+	}
+
+	if res.ReadMBps, err = readPhase(); err != nil {
+		return res, fmt.Errorf("bench: healthy read phase: %w", err)
+	}
+
+	// Kill one provider mid-run; the remaining reads run degraded.
+	if err := svc.Providers.SetDown(0, true); err != nil {
+		return res, err
+	}
+	res.DegradedMBps, res.DegradedErr = readPhase()
+
+	start = time.Now()
+	res.Repair = svc.Router.Repair()
+	res.RepairElapsed = time.Since(start)
+	return res, nil
+}
+
+func mbps(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / elapsed.Seconds()
+}

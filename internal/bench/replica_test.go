@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func TestRunReplicated(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 4, Regions: 8, RegionSize: 8 << 10, OverlapFraction: 0.75}
+	res, err := RunReplicated(cluster.Default(), spec, ReplicatedOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 2 || res.Clients != 4 {
+		t.Fatalf("result header %+v", res)
+	}
+	if res.WriteMBps <= 0 || res.ReadMBps <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	// R=2 survives the mid-run kill: degraded reads succeed and repair
+	// restores every degraded chunk.
+	if res.DegradedErr != nil {
+		t.Fatalf("degraded reads failed at R=2: %v", res.DegradedErr)
+	}
+	if res.DegradedMBps <= 0 {
+		t.Fatalf("degraded throughput not measured: %+v", res)
+	}
+	if res.Repair.Degraded == 0 || res.Repair.Repaired != res.Repair.Degraded || res.Repair.Lost > 0 {
+		t.Fatalf("repair stats %+v", res.Repair)
+	}
+}
+
+func TestRunReplicatedR1LosesData(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 4, Regions: 8, RegionSize: 8 << 10, OverlapFraction: 0.75}
+	res, err := RunReplicated(cluster.Default(), spec, ReplicatedOptions{Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unreplicated, losing a provider loses data: the degraded read
+	// phase must fail rather than silently serve holes.
+	if res.DegradedErr == nil {
+		t.Fatal("R=1 degraded reads succeeded; the kill exercised nothing")
+	}
+	if res.Repair.Lost == 0 {
+		t.Fatalf("R=1 repair found no lost chunks: %+v", res.Repair)
+	}
+}
+
+func TestRunReplicatedValidation(t *testing.T) {
+	if _, err := RunReplicated(cluster.Default(), workload.OverlapSpec{}, ReplicatedOptions{}); err == nil {
+		t.Fatal("invalid spec must fail")
+	}
+	env := cluster.Default()
+	env.Providers = 2
+	spec := workload.OverlapSpec{Clients: 2, Regions: 2, RegionSize: 1 << 10, OverlapFraction: 0.5}
+	if _, err := RunReplicated(env, spec, ReplicatedOptions{Replicas: 5}); err == nil {
+		t.Fatal("R above provider count must fail")
+	}
+}

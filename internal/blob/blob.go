@@ -4,11 +4,13 @@
 // non-contiguous reads and writes of huge binary objects.
 //
 // A write never blocks on other writers: it stores its chunks (striped
-// round-robin across data providers), builds shadowed metadata using
-// the borrow answers obtained with its ticket, and hands the new root
-// to the version manager, which publishes snapshots strictly in ticket
-// order. A read runs against one immutable published snapshot and
-// therefore needs no synchronization at all.
+// round-robin across data providers, R copies each when the data layer
+// replicates), builds shadowed metadata using the borrow answers
+// obtained with its ticket, and hands the new root to the version
+// manager, which publishes snapshots strictly in ticket order. A read
+// runs against one immutable published snapshot and therefore needs no
+// synchronization at all; when a data provider is down it fails over
+// to the surviving replicas recorded in each chunk ref.
 package blob
 
 import (
@@ -42,10 +44,14 @@ var _ VersionService = (*vmanager.Manager)(nil)
 
 // DataService is the data-provider API: store and fetch immutable
 // chunks. Implemented by *provider.Router in-process and by the RPC
-// client remotely.
+// client remotely. Put returns the replica set — the providers that
+// hold a copy — which writers record in metadata (chunk.Ref.Replicas)
+// so readers can fail over across copies; GetFrom is the replica-aware
+// read that tries that set first.
 type DataService interface {
-	Put(key chunk.Key, data []byte) (provider.ID, error)
+	Put(key chunk.Key, data []byte) ([]provider.ID, error)
 	Get(key chunk.Key, off, length int64) ([]byte, error)
+	GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, error)
 }
 
 var _ DataService = (*provider.Router)(nil)
@@ -218,13 +224,18 @@ func (b *Blob) storeChunks(version uint64, vec extent.Vec, parallelism int) ([]s
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			key := chunk.Key{Blob: b.id, Version: version, Index: uint32(i)}
-			if _, err := b.svc.Data.Put(key, p.data); err != nil {
+			ids, err := b.svc.Data.Put(key, p.data)
+			if err != nil {
 				errs <- err
 				return
 			}
+			replicas := make([]uint32, len(ids))
+			for j, id := range ids {
+				replicas[j] = uint32(id)
+			}
 			placed[i] = segtree.Placed{
 				Ext: p.ext,
-				Ref: chunk.Ref{Key: key, Offset: 0, Length: p.ext.Length},
+				Ref: chunk.Ref{Key: key, Offset: 0, Length: p.ext.Length, Replicas: replicas},
 			}
 		}(i, p)
 	}
@@ -263,7 +274,10 @@ func (b *Blob) ReadList(version uint64, q extent.List) ([]byte, error) {
 		return nil, err
 	}
 
-	// Fetch fragments in parallel.
+	// Fetch fragments in parallel. Refs carry the replica set recorded
+	// at write time: GetFrom fails over across those copies when a
+	// provider is down, falling back to the router's placement map when
+	// the hint has gone stale (a repair moved the copies).
 	data := make([][]byte, len(frags))
 	errs := make(chan error, len(frags))
 	var wg sync.WaitGroup
@@ -271,7 +285,11 @@ func (b *Blob) ReadList(version uint64, q extent.List) ([]byte, error) {
 		wg.Add(1)
 		go func(i int, f segtree.Fragment) {
 			defer wg.Done()
-			d, err := b.svc.Data.Get(f.Ref.Key, f.Ref.Offset, f.Ref.Length)
+			replicas := make([]provider.ID, len(f.Ref.Replicas))
+			for j, id := range f.Ref.Replicas {
+				replicas[j] = provider.ID(id)
+			}
+			d, err := b.svc.Data.GetFrom(replicas, f.Ref.Key, f.Ref.Offset, f.Ref.Length)
 			if err != nil {
 				errs <- err
 				return

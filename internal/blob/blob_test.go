@@ -343,3 +343,78 @@ func TestDiffAPI(t *testing.T) {
 		t.Fatal("diff of unknown version must fail")
 	}
 }
+
+// replicatedServices builds a deployment with replication degree R,
+// returning the manager so tests can kill providers.
+func replicatedServices(r int) (Services, *provider.Manager) {
+	mgr, _ := provider.NewPool(4, iosim.CostModel{})
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(r)
+	return Services{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(4, iosim.CostModel{}),
+		Data: router,
+	}, mgr
+}
+
+func TestWriteRecordsReplicaSets(t *testing.T) {
+	svc, _ := replicatedServices(2)
+	b, err := Create(svc, 1, segtree.Geometry{Capacity: 1 << 16, Page: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A write spanning several pages stores several chunks; every leaf
+	// ref must carry a 2-provider replica set.
+	v, err := b.Write(0, make([]byte, 2048), WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := b.svc.VM.Snapshot(1, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, _, err := b.tree.Resolve(info.Root, extent.List{{Offset: 0, Length: 2048}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) == 0 {
+		t.Fatal("no fragments resolved")
+	}
+	for _, f := range frags {
+		if len(f.Ref.Replicas) != 2 {
+			t.Fatalf("ref %v carries %d replicas, want 2", f.Ref.Key, len(f.Ref.Replicas))
+		}
+		if f.Ref.Replicas[0] == f.Ref.Replicas[1] {
+			t.Fatalf("ref %v replicas not distinct: %v", f.Ref.Key, f.Ref.Replicas)
+		}
+	}
+}
+
+func TestReadFailsOverAcrossReplicas(t *testing.T) {
+	svc, mgr := replicatedServices(2)
+	b, err := Create(svc, 1, segtree.Geometry{Capacity: 1 << 16, Page: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 3000)
+	v, err := b.Write(100, payload, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whichever single provider dies, every byte stays readable.
+	for id := 0; id < 4; id++ {
+		if err := mgr.SetDown(provider.ID(id), true); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadAt(v, 100, 3000)
+		if err != nil {
+			t.Fatalf("provider %d down: %v", id, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("provider %d down: corrupt read", id)
+		}
+		if err := mgr.SetDown(provider.ID(id), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -29,30 +29,62 @@ func (k Key) String() string {
 	return fmt.Sprintf("b%d-v%d-c%d", k.Blob, k.Version, k.Index)
 }
 
-// Ref points at a sub-range of a stored chunk. Metadata leaves hold Refs.
+// Ref points at a sub-range of a stored chunk. Metadata leaves hold
+// Refs. Replicas, when non-empty, lists the data providers that hold a
+// copy of the chunk (write-time placement): readers try those first
+// and fail over across them when a provider is down. An empty set
+// means placement is resolved by the provider router alone
+// (pre-replication refs).
 type Ref struct {
-	Key    Key
-	Offset int64 // offset within the chunk
-	Length int64 // number of bytes referenced
+	Key      Key
+	Offset   int64    // offset within the chunk
+	Length   int64    // number of bytes referenced
+	Replicas []uint32 // provider IDs holding a copy (may be empty)
 }
 
-// Marshal encodes the ref into a fixed 36-byte representation.
+// EqualData reports whether two refs reference the same bytes — the
+// same sub-range of the same chunk. Replica placement is ignored: a
+// repair that moves copies does not change the data a ref denotes.
+func (r Ref) EqualData(o Ref) bool {
+	return r.Key == o.Key && r.Offset == o.Offset && r.Length == o.Length
+}
+
+// Marshal encodes the ref: a fixed 36-byte base followed, when the ref
+// carries a replica set, by a count byte and 4 bytes per replica.
+// Replica-less refs keep the legacy fixed 36-byte form. The replica
+// set is a read hint, so encodings keep only the first 255 entries
+// rather than wrapping the count byte; readers holding a truncated
+// hint fall back to the router's placement map.
 func (r Ref) Marshal() []byte {
-	b := make([]byte, 36)
+	if len(r.Replicas) > 255 {
+		r.Replicas = r.Replicas[:255]
+	}
+	n := 36
+	if len(r.Replicas) > 0 {
+		n += 1 + 4*len(r.Replicas)
+	}
+	b := make([]byte, n)
 	binary.LittleEndian.PutUint64(b[0:], r.Key.Blob)
 	binary.LittleEndian.PutUint64(b[8:], r.Key.Version)
 	binary.LittleEndian.PutUint32(b[16:], r.Key.Index)
 	binary.LittleEndian.PutUint64(b[20:], uint64(r.Offset))
 	binary.LittleEndian.PutUint64(b[28:], uint64(r.Length))
+	if len(r.Replicas) > 0 {
+		b[36] = byte(len(r.Replicas))
+		for i, id := range r.Replicas {
+			binary.LittleEndian.PutUint32(b[37+4*i:], id)
+		}
+	}
 	return b
 }
 
-// UnmarshalRef decodes a ref written by Marshal.
+// UnmarshalRef decodes a ref written by Marshal, accepting both the
+// legacy 36-byte form and the replicated form.
 func UnmarshalRef(b []byte) (Ref, error) {
 	if len(b) < 36 {
 		return Ref{}, fmt.Errorf("chunk: ref too short (%d bytes)", len(b))
 	}
-	return Ref{
+	r := Ref{
 		Key: Key{
 			Blob:    binary.LittleEndian.Uint64(b[0:]),
 			Version: binary.LittleEndian.Uint64(b[8:]),
@@ -60,7 +92,18 @@ func UnmarshalRef(b []byte) (Ref, error) {
 		},
 		Offset: int64(binary.LittleEndian.Uint64(b[20:])),
 		Length: int64(binary.LittleEndian.Uint64(b[28:])),
-	}, nil
+	}
+	if len(b) > 36 {
+		n := int(b[36])
+		if len(b) < 37+4*n {
+			return Ref{}, fmt.Errorf("chunk: ref replica set truncated (%d bytes for %d replicas)", len(b), n)
+		}
+		r.Replicas = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			r.Replicas[i] = binary.LittleEndian.Uint32(b[37+4*i:])
+		}
+	}
+	return r, nil
 }
 
 // ErrNotFound is returned when a chunk key is unknown.

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -195,25 +196,82 @@ func TestMeterIsCharged(t *testing.T) {
 }
 
 func TestRefMarshalRoundTrip(t *testing.T) {
-	f := func(blob, ver uint64, idx uint32, off, length int64) bool {
+	f := func(blob, ver uint64, idx uint32, off, length int64, replicas []uint32) bool {
 		if off < 0 {
 			off = -off
 		}
 		if length < 0 {
 			length = -length
 		}
-		r := Ref{Key: Key{Blob: blob, Version: ver, Index: idx}, Offset: off, Length: length}
+		if len(replicas) > 255 {
+			replicas = replicas[:255]
+		}
+		if len(replicas) == 0 {
+			replicas = nil
+		}
+		r := Ref{Key: Key{Blob: blob, Version: ver, Index: idx}, Offset: off, Length: length, Replicas: replicas}
 		got, err := UnmarshalRef(r.Marshal())
-		return err == nil && got == r
+		return err == nil && got.Key == r.Key && got.Offset == r.Offset &&
+			got.Length == r.Length && reflect.DeepEqual(got.Replicas, r.Replicas)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRefMarshalLegacyForm(t *testing.T) {
+	// A replica-less ref keeps the fixed 36-byte pre-replication
+	// encoding, so old marshaled refs stay decodable.
+	r := Ref{Key: Key{Blob: 1, Version: 2, Index: 3}, Offset: 4, Length: 5}
+	b := r.Marshal()
+	if len(b) != 36 {
+		t.Fatalf("replica-less ref marshals to %d bytes, want 36", len(b))
+	}
+	got, err := UnmarshalRef(b)
+	if err != nil || !got.EqualData(r) || got.Replicas != nil {
+		t.Fatalf("legacy round trip = %+v, %v", got, err)
+	}
+}
+
+func TestRefMarshalTruncatesOversizedHint(t *testing.T) {
+	// The count byte cannot wrap: oversized replica hints are cut to
+	// 255 entries, not encoded mod 256.
+	reps := make([]uint32, 300)
+	for i := range reps {
+		reps[i] = uint32(i)
+	}
+	r := Ref{Key: Key{Blob: 1}, Length: 1, Replicas: reps}
+	got, err := UnmarshalRef(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Replicas) != 255 || got.Replicas[254] != 254 {
+		t.Fatalf("decoded %d replicas, want the first 255", len(got.Replicas))
+	}
+}
+
+func TestRefEqualDataIgnoresReplicas(t *testing.T) {
+	a := Ref{Key: Key{Blob: 1}, Offset: 2, Length: 3, Replicas: []uint32{0, 1}}
+	b := Ref{Key: Key{Blob: 1}, Offset: 2, Length: 3, Replicas: []uint32{4, 5}}
+	if !a.EqualData(b) {
+		t.Fatal("EqualData must ignore replica placement")
+	}
+	b.Offset = 9
+	if a.EqualData(b) {
+		t.Fatal("EqualData must see a range change")
+	}
+}
+
 func TestUnmarshalRefShort(t *testing.T) {
 	if _, err := UnmarshalRef(make([]byte, 10)); err == nil {
 		t.Fatal("short buffer must fail")
+	}
+	// A replica count promising more entries than the buffer holds
+	// must fail rather than read out of bounds.
+	r := Ref{Key: Key{Blob: 1}, Length: 1, Replicas: []uint32{1, 2, 3}}
+	b := r.Marshal()
+	if _, err := UnmarshalRef(b[:len(b)-4]); err == nil {
+		t.Fatal("truncated replica set must fail")
 	}
 }
 

@@ -8,14 +8,24 @@ import (
 // ErrInjected is the error FaultStore returns for injected failures.
 var ErrInjected = errors.New("chunk: injected fault")
 
+// ErrDown is the error every operation of a FaultStore returns while
+// the store is in permanent down mode (SetDown): the machine holding
+// the chunks is gone, not transiently failing.
+var ErrDown = errors.New("chunk: provider down")
+
 // FaultStore wraps a Store and fails a configurable subset of
 // operations; used by failure-injection tests to exercise the write
-// path's ticket-retirement logic.
+// path's ticket-retirement logic. Two fault modes compose: transient
+// fail-next-N counters per operation, and a permanent down mode
+// (SetDown) under which every operation fails with ErrDown until the
+// store is revived — the model of a dead machine that failover and
+// repair tests need.
 type FaultStore struct {
 	Inner Store
 
 	failPuts atomic.Int64 // number of upcoming Puts to fail
 	failGets atomic.Int64 // number of upcoming Gets to fail
+	down     atomic.Bool  // permanent failure of every operation
 }
 
 var _ Store = (*FaultStore)(nil)
@@ -29,8 +39,19 @@ func (f *FaultStore) FailNextPuts(n int64) { f.failPuts.Store(n) }
 // FailNextGets arms n upcoming Get failures.
 func (f *FaultStore) FailNextGets(n int64) { f.failGets.Store(n) }
 
+// SetDown enters (true) or leaves (false) permanent down mode. While
+// down, every Put, Get and Len fails with ErrDown; the stored chunks
+// survive and become readable again on revival.
+func (f *FaultStore) SetDown(down bool) { f.down.Store(down) }
+
+// IsDown reports whether the store is in permanent down mode.
+func (f *FaultStore) IsDown() bool { return f.down.Load() }
+
 // Put implements Store.
 func (f *FaultStore) Put(key Key, data []byte) error {
+	if f.down.Load() {
+		return ErrDown
+	}
 	if take(&f.failPuts) {
 		return ErrInjected
 	}
@@ -39,6 +60,9 @@ func (f *FaultStore) Put(key Key, data []byte) error {
 
 // Get implements Store.
 func (f *FaultStore) Get(key Key, off, length int64) ([]byte, error) {
+	if f.down.Load() {
+		return nil, ErrDown
+	}
 	if take(&f.failGets) {
 		return nil, ErrInjected
 	}
@@ -46,7 +70,12 @@ func (f *FaultStore) Get(key Key, off, length int64) ([]byte, error) {
 }
 
 // Len implements Store.
-func (f *FaultStore) Len(key Key) (int64, error) { return f.Inner.Len(key) }
+func (f *FaultStore) Len(key Key) (int64, error) {
+	if f.down.Load() {
+		return 0, ErrDown
+	}
+	return f.Inner.Len(key)
+}
 
 // Count implements Store.
 func (f *FaultStore) Count() int { return f.Inner.Count() }

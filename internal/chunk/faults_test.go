@@ -54,6 +54,51 @@ func TestFaultStoreInjectsGetFailures(t *testing.T) {
 	}
 }
 
+func TestFaultStoreDownMode(t *testing.T) {
+	f := NewFaultStore(NewMemStore(nil))
+	key := Key{Blob: 1}
+	if err := f.Put(key, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetDown(true)
+	if !f.IsDown() {
+		t.Fatal("IsDown = false after SetDown(true)")
+	}
+	// Down is permanent, not a counter: every operation keeps failing.
+	for i := 0; i < 3; i++ {
+		if err := f.Put(Key{Blob: uint64(10 + i)}, []byte("x")); !errors.Is(err, ErrDown) {
+			t.Fatalf("Put %d err = %v, want ErrDown", i, err)
+		}
+		if _, err := f.Get(key, 0, 1); !errors.Is(err, ErrDown) {
+			t.Fatalf("Get %d err = %v, want ErrDown", i, err)
+		}
+		if _, err := f.Len(key); !errors.Is(err, ErrDown) {
+			t.Fatalf("Len %d err = %v, want ErrDown", i, err)
+		}
+	}
+	// Revival: the chunks written before the outage are intact.
+	f.SetDown(false)
+	got, err := f.Get(key, 0, 8)
+	if err != nil || string(got) != "survivor" {
+		t.Fatalf("Get after revival = %q, %v", got, err)
+	}
+}
+
+func TestFaultStoreDownTrumpsCounters(t *testing.T) {
+	// Down mode fails operations without consuming armed fail-next
+	// counters: a dead machine is not "using up" transient faults.
+	f := NewFaultStore(NewMemStore(nil))
+	f.FailNextPuts(1)
+	f.SetDown(true)
+	if err := f.Put(Key{Blob: 1}, []byte("x")); !errors.Is(err, ErrDown) {
+		t.Fatalf("err = %v, want ErrDown", err)
+	}
+	f.SetDown(false)
+	if err := f.Put(Key{Blob: 2}, []byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("counter err = %v, want ErrInjected still armed", err)
+	}
+}
+
 func TestFaultStoreConcurrentArming(t *testing.T) {
 	f := NewFaultStore(NewMemStore(nil))
 	const n = 32

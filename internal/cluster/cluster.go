@@ -34,6 +34,14 @@ type Env struct {
 	// ChunkSize is the stripe unit: the versioning page size and the
 	// locking file system's stripe size.
 	ChunkSize int64
+	// Replicas is the replication degree R of the versioning data
+	// layer: every chunk is stored on R distinct providers. 0 or 1
+	// means no replication. Must not exceed Providers.
+	Replicas int
+	// WriteQuorum is how many of the R copies must land for a write to
+	// commit. 0 selects the default of R-1 (minimum 1), which lets a
+	// write survive the mid-flight loss of one provider.
+	WriteQuorum int
 
 	DataModel iosim.CostModel // per provider / OST
 	MetaModel iosim.CostModel // per metadata shard
@@ -73,6 +81,12 @@ func (e Env) Validate() error {
 	if e.ChunkSize < 1 {
 		return fmt.Errorf("cluster: chunk size %d must be positive", e.ChunkSize)
 	}
+	if e.Replicas > e.Providers {
+		return fmt.Errorf("cluster: %d replicas exceed %d providers", e.Replicas, e.Providers)
+	}
+	if r := max(e.Replicas, 1); e.WriteQuorum > r {
+		return fmt.Errorf("cluster: write quorum %d exceeds %d replicas", e.WriteQuorum, r)
+	}
 	return nil
 }
 
@@ -94,11 +108,14 @@ func NewVersioning(env Env) (*Versioning, error) {
 	mgr, _ := provider.NewPool(env.Providers, env.DataModel)
 	vm := vmanager.New(env.CtrlModel)
 	vm.SetBatching(env.VMBatch)
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(env.Replicas)
+	router.SetWriteQuorum(env.WriteQuorum)
 	return &Versioning{
 		VM:        vm,
 		Meta:      metadata.NewStore(env.MetaShards, env.MetaModel),
 		Providers: mgr,
-		Router:    provider.NewRouter(mgr),
+		Router:    router,
 		env:       env,
 	}, nil
 }

@@ -17,6 +17,9 @@ func TestEnvValidate(t *testing.T) {
 		{Providers: 0, MetaShards: 1, ChunkSize: 1},
 		{Providers: 1, MetaShards: 0, ChunkSize: 1},
 		{Providers: 1, MetaShards: 1, ChunkSize: 0},
+		{Providers: 2, MetaShards: 1, ChunkSize: 1, Replicas: 3},
+		{Providers: 4, MetaShards: 1, ChunkSize: 1, Replicas: 2, WriteQuorum: 3},
+		{Providers: 4, MetaShards: 1, ChunkSize: 1, WriteQuorum: 2}, // quorum without replication
 	}
 	for i, e := range bad {
 		if e.Validate() == nil {
@@ -74,6 +77,38 @@ func TestVersioningDeployment(t *testing.T) {
 	got, _, err := be.ReadList(extent.List{{Offset: 0, Length: 10}})
 	if err != nil || len(got) != 10 {
 		t.Fatalf("read = %v, %v", got, err)
+	}
+}
+
+func TestVersioningReplicatedDeployment(t *testing.T) {
+	env := Default()
+	env.Providers = 4
+	env.Replicas = 3
+	svc, err := NewVersioning(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Router.Replicas(); got != 3 {
+		t.Fatalf("router replicas = %d, want 3", got)
+	}
+	if got := svc.Router.WriteQuorum(); got != 2 {
+		t.Fatalf("default write quorum = %d, want 2", got)
+	}
+	be, err := svc.Backend(1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, _ := extent.NewVec(extent.List{{Offset: 0, Length: 10}}, make([]byte, 10))
+	if _, err := be.WriteList(vec); err != nil {
+		t.Fatal(err)
+	}
+	// One machine down: the snapshot stays readable via failover.
+	if err := svc.Providers.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := be.ReadList(extent.List{{Offset: 0, Length: 10}})
+	if err != nil || len(got) != 10 {
+		t.Fatalf("degraded read = %v, %v", got, err)
 	}
 }
 

@@ -180,3 +180,46 @@ func TestConcurrentAtomicSemantics(t *testing.T) {
 		}
 	}
 }
+
+func TestScrub(t *testing.T) {
+	mgr, _ := provider.NewPool(4, iosim.CostModel{})
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(2)
+	svc := blob.Services{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(4, iosim.CostModel{}),
+		Data: router,
+	}
+	be, err := NewVersioning(svc, 1, segtree.Geometry{Capacity: 1 << 20, Page: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		buf := bytes.Repeat([]byte{byte(i + 1)}, 2000)
+		vec, _ := extent.NewVec(extent.List{{Offset: int64(i) * 1500, Length: 2000}}, buf)
+		if _, err := be.WriteList(vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Healthy scrub covers the initial empty snapshot plus 3 writes.
+	n, err := be.Scrub()
+	if err != nil || n != 4 {
+		t.Fatalf("Scrub = %d, %v", n, err)
+	}
+	// One provider down: replicated snapshots still scrub clean.
+	if err := mgr.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	n, err = be.Scrub()
+	if err != nil || n != 4 {
+		t.Fatalf("degraded Scrub = %d, %v", n, err)
+	}
+	// Both holders of a replica pair down beats R=2: the scrub must
+	// report the loss (round-robin placement pairs 0 with 1).
+	if err := mgr.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Scrub(); err == nil {
+		t.Fatal("scrub with two providers down at R=2 must fail")
+	}
+}

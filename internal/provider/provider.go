@@ -4,6 +4,16 @@
 // load-balancing striping strategy: writes are directed to providers in
 // round-robin order so the I/O workload distributes itself across the
 // aggregate bandwidth of all machines.
+//
+// On top of placement the layer implements chunk replication: the
+// Router stores every chunk on R distinct providers (Router.SetReplicas)
+// in parallel, commits a write once a configurable write quorum of
+// copies landed (Router.SetWriteQuorum), fails reads over to surviving
+// replicas when a provider is down (Manager.SetDown), and restores the
+// replication degree after a provider loss with a re-replication pass
+// (Router.Repair). Replication is the durability primitive that lets a
+// deployment lose a storage machine without losing any published
+// snapshot.
 package provider
 
 import (
@@ -26,6 +36,7 @@ type Provider struct {
 	id        ID
 	store     chunk.Store
 	allocated atomic.Int64
+	down      atomic.Bool
 }
 
 // New builds a provider around the given store.
@@ -42,9 +53,37 @@ func (p *Provider) Store() chunk.Store { return p.store }
 // Allocated returns how many chunks the manager has routed here.
 func (p *Provider) Allocated() int64 { return p.allocated.Load() }
 
+// Down reports whether the provider is marked dead (machine loss).
+func (p *Provider) Down() bool { return p.down.Load() }
+
 // ErrNoProviders is returned when the manager has no registered
 // providers.
 var ErrNoProviders = errors.New("provider: no providers registered")
+
+// ErrProviderDown is returned when an operation targets a provider that
+// has been marked down via Manager.SetDown.
+var ErrProviderDown = errors.New("provider: provider down")
+
+// ErrInsufficientProviders is the sentinel matched (via errors.Is) by
+// InsufficientProvidersError.
+var ErrInsufficientProviders = errors.New("provider: not enough live providers")
+
+// InsufficientProvidersError is returned by AllocateN when the
+// requested replication degree exceeds the number of live providers.
+type InsufficientProvidersError struct {
+	Want int // distinct providers requested
+	Live int // live providers available
+}
+
+// Error implements error.
+func (e *InsufficientProvidersError) Error() string {
+	return fmt.Sprintf("provider: need %d distinct live providers, only %d live", e.Want, e.Live)
+}
+
+// Is matches the ErrInsufficientProviders sentinel.
+func (e *InsufficientProvidersError) Is(target error) bool {
+	return target == ErrInsufficientProviders
+}
 
 // Policy selects the allocation strategy for new chunks.
 type Policy int
@@ -75,7 +114,8 @@ func (p Policy) String() string {
 }
 
 // Manager is the provider manager: it tracks live providers and hands
-// out allocation targets for new chunks.
+// out allocation targets for new chunks. Providers marked down via
+// SetDown are excluded from every allocation decision.
 type Manager struct {
 	mu        sync.RWMutex
 	providers []*Provider
@@ -144,6 +184,43 @@ func (m *Manager) Count() int {
 	return len(m.providers)
 }
 
+// Live returns the number of providers not marked down.
+func (m *Manager) Live() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := 0
+	for _, p := range m.providers {
+		if !p.Down() {
+			n++
+		}
+	}
+	return n
+}
+
+// SetDown marks a provider dead (down=true) or revived (down=false).
+// A down provider receives no new allocations, is skipped by read
+// failover, and counts as lost for Repair.
+func (m *Manager) SetDown(id ID, down bool) error {
+	p := m.byID(id)
+	if p == nil {
+		return fmt.Errorf("provider: unknown provider %d", id)
+	}
+	p.down.Store(down)
+	return nil
+}
+
+// byID returns the provider with the given ID, or nil.
+func (m *Manager) byID(id ID) *Provider {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, p := range m.providers {
+		if p.ID() == id {
+			return p
+		}
+	}
+	return nil
+}
+
 // Providers returns a snapshot of the registered providers.
 func (m *Manager) Providers() []*Provider {
 	m.mu.RLock()
@@ -153,114 +230,451 @@ func (m *Manager) Providers() []*Provider {
 	return out
 }
 
-// Allocate returns the provider that should store the next chunk,
-// according to the configured policy.
-func (m *Manager) Allocate() (*Provider, error) {
+// live returns a snapshot of the providers not marked down, in
+// registration order.
+func (m *Manager) liveSnapshot() []*Provider {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	if len(m.providers) == 0 {
+	out := make([]*Provider, 0, len(m.providers))
+	for _, p := range m.providers {
+		if !p.Down() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Allocate returns the provider that should store the next chunk,
+// according to the configured policy. Down providers are never
+// returned.
+func (m *Manager) Allocate() (*Provider, error) {
+	m.mu.RLock()
+	empty := len(m.providers) == 0
+	m.mu.RUnlock()
+	if empty {
 		return nil, ErrNoProviders
 	}
+	live := m.liveSnapshot()
+	if len(live) == 0 {
+		return nil, &InsufficientProvidersError{Want: 1, Live: 0}
+	}
 	var p *Provider
-	switch m.policy {
+	switch m.Policy() {
 	case Random:
-		p = m.providers[m.rnd()%uint64(len(m.providers))]
+		p = live[m.rnd()%uint64(len(live))]
 	case LeastLoaded:
-		p = m.providers[0]
-		for _, cand := range m.providers[1:] {
+		p = live[0]
+		for _, cand := range live[1:] {
 			if cand.Allocated() < p.Allocated() {
 				p = cand
 			}
 		}
 	default: // RoundRobin
 		i := m.next.Add(1) - 1
-		p = m.providers[i%uint64(len(m.providers))]
+		p = live[i%uint64(len(live))]
 	}
 	p.allocated.Add(1)
 	return p, nil
 }
 
-// AllocateN returns n allocation targets in round-robin order. Useful
-// when a writer knows up front how many chunks one update produces.
+// AllocateN returns n allocation targets for the n replicas of one
+// chunk: always n distinct live providers, taken as a consecutive
+// window of the live ring so that successive calls stay round-robin
+// balanced (every provider's share differs by at most one window).
+// When fewer than n providers are live it fails with a typed
+// *InsufficientProvidersError (errors.Is-matchable against
+// ErrInsufficientProviders). The non-round-robin policies only change
+// where the window starts; distinctness and balance hold regardless.
 func (m *Manager) AllocateN(n int) ([]*Provider, error) {
+	return m.allocateExcluding(n, nil)
+}
+
+// allocateExcluding is AllocateN with a set of provider IDs that must
+// not be chosen — the re-replication path uses it to place new copies
+// away from the replicas a chunk already has.
+func (m *Manager) allocateExcluding(n int, exclude map[ID]bool) ([]*Provider, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("provider: AllocateN needs n >= 1, got %d", n)
+	}
+	m.mu.RLock()
+	empty := len(m.providers) == 0
+	m.mu.RUnlock()
+	if empty {
+		return nil, ErrNoProviders
+	}
+	live := m.liveSnapshot()
+	if len(exclude) > 0 {
+		filtered := live[:0:0]
+		for _, p := range live {
+			if !exclude[p.ID()] {
+				filtered = append(filtered, p)
+			}
+		}
+		live = filtered
+	}
+	if n > len(live) {
+		return nil, &InsufficientProvidersError{Want: n, Live: len(live)}
+	}
+	var base uint64
+	switch m.Policy() {
+	case Random:
+		base = m.rnd()
+	case LeastLoaded:
+		least := 0
+		for i, p := range live {
+			if p.Allocated() < live[least].Allocated() {
+				least = i
+			}
+		}
+		base = uint64(least)
+	default: // RoundRobin
+		// Advance the cursor by n so consecutive calls tile the live
+		// ring: every slot in [base, base+n) is used exactly once,
+		// which keeps per-provider counts within one of each other.
+		base = m.next.Add(uint64(n)) - uint64(n)
+	}
 	out := make([]*Provider, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := m.Allocate()
-		if err != nil {
-			return nil, err
-		}
+		p := live[(base+uint64(i))%uint64(len(live))]
+		p.allocated.Add(1)
 		out = append(out, p)
 	}
 	return out, nil
 }
 
-// ForKey returns the provider holding the given chunk key. Placement is
-// recorded implicitly: writers store through the provider returned by
-// Allocate, so readers locate chunks via the placement map maintained
-// by Put/Locate below.
+// placement records, for every stored chunk, the set of providers
+// holding a copy.
 type placement struct {
 	mu sync.RWMutex
-	m  map[chunk.Key]ID
+	m  map[chunk.Key][]ID
 }
 
 // Router pairs a Manager with a placement map so that readers can find
-// the provider that holds any chunk. In the real BlobSeer placement is
+// the providers that hold any chunk. In the real BlobSeer placement is
 // embedded in metadata; recording it here keeps metadata nodes compact
-// while preserving the lookup path.
+// while preserving the lookup path. The router is where replication
+// lives: Put stores R copies on distinct providers and commits on a
+// write quorum, Get fails over across surviving replicas, and Repair
+// re-replicates chunks that lost copies to a dead provider.
 type Router struct {
 	*Manager
-	place placement
+	place    placement
+	cfg      sync.RWMutex // guards replicas/quorum
+	replicas int          // copies per chunk; 0 or 1 means no replication
+	quorum   int          // copies that must land for Put to succeed; 0 = replicas-1 (min 1)
+	rdNext   atomic.Uint64
 }
 
-// NewRouter wraps a manager with a placement map.
+// NewRouter wraps a manager with a placement map. The zero
+// configuration stores one copy per chunk (no replication).
 func NewRouter(m *Manager) *Router {
-	return &Router{Manager: m, place: placement{m: make(map[chunk.Key]ID)}}
+	return &Router{Manager: m, place: placement{m: make(map[chunk.Key][]ID)}}
 }
 
-// Put allocates a provider, stores the chunk there and records
-// placement.
-func (r *Router) Put(key chunk.Key, data []byte) (ID, error) {
-	p, err := r.Allocate()
-	if err != nil {
-		return 0, err
+// SetReplicas sets the replication degree R: every subsequent Put
+// stores R copies on R distinct providers. r < 1 is normalized to 1.
+func (r *Router) SetReplicas(n int) {
+	r.cfg.Lock()
+	defer r.cfg.Unlock()
+	r.replicas = n
+}
+
+// Replicas returns the effective replication degree (>= 1).
+func (r *Router) Replicas() int {
+	r.cfg.RLock()
+	defer r.cfg.RUnlock()
+	if r.replicas < 1 {
+		return 1
 	}
-	if err := p.Store().Put(key, data); err != nil {
-		return 0, fmt.Errorf("provider %d: %w", p.ID(), err)
+	return r.replicas
+}
+
+// SetWriteQuorum sets how many of the R copies must be stored for a
+// Put to succeed. 0 restores the default of R-1 (minimum 1): a write
+// survives the mid-flight loss of one provider, the failure unit this
+// layer is built around, while R healthy providers still normally
+// yield R copies. Values are clamped to [1, R] at use.
+func (r *Router) SetWriteQuorum(q int) {
+	r.cfg.Lock()
+	defer r.cfg.Unlock()
+	r.quorum = q
+}
+
+// WriteQuorum returns the effective write quorum for the current
+// replication degree.
+func (r *Router) WriteQuorum() int {
+	n := r.Replicas()
+	r.cfg.RLock()
+	q := r.quorum
+	r.cfg.RUnlock()
+	if q == 0 {
+		q = n - 1
+	}
+	if q < 1 {
+		q = 1
+	}
+	if q > n {
+		q = n
+	}
+	return q
+}
+
+// Put allocates R distinct providers, stores the chunk on all of them
+// in parallel and records placement. It succeeds — returning the IDs
+// of the providers that actually hold a copy — as soon as at least the
+// write quorum of copies landed; with fewer it fails and reports the
+// replica errors. Copies that landed on a failed Put are orphans: the
+// write's ticket is retired by the caller, so no metadata ever
+// references them.
+func (r *Router) Put(key chunk.Key, data []byte) ([]ID, error) {
+	want := r.Replicas()
+	quorum := r.WriteQuorum()
+	targets, err := r.AllocateN(want)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 1 {
+		// Unreplicated fast path: no fan-out machinery on the default
+		// R=1 write path.
+		p := targets[0]
+		if err := r.putOne(p, key, data); err != nil {
+			return nil, fmt.Errorf("provider: write quorum not met (0/1 copies, need 1): provider %d: %w", p.ID(), err)
+		}
+		stored := []ID{p.ID()}
+		r.place.mu.Lock()
+		r.place.m[key] = stored
+		r.place.mu.Unlock()
+		return stored, nil
+	}
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, p := range targets {
+		wg.Add(1)
+		go func(i int, p *Provider) {
+			defer wg.Done()
+			errs[i] = r.putOne(p, key, data)
+		}(i, p)
+	}
+	wg.Wait()
+	stored := make([]ID, 0, len(targets))
+	var failures []error
+	for i, p := range targets {
+		if errs[i] == nil {
+			stored = append(stored, p.ID())
+		} else {
+			failures = append(failures, fmt.Errorf("provider %d: %w", p.ID(), errs[i]))
+		}
+	}
+	if len(stored) < quorum {
+		return nil, fmt.Errorf("provider: write quorum not met (%d/%d copies, need %d): %w",
+			len(stored), want, quorum, errors.Join(failures...))
 	}
 	r.place.mu.Lock()
-	r.place.m[key] = p.ID()
+	r.place.m[key] = stored
 	r.place.mu.Unlock()
-	return p.ID(), nil
+	return stored, nil
 }
 
-// Get reads a chunk sub-range by consulting the placement map.
+// putOne stores one copy, treating a down provider as a failed store
+// (the machine died between allocation and the write reaching it).
+func (r *Router) putOne(p *Provider, key chunk.Key, data []byte) error {
+	if p.Down() {
+		return ErrProviderDown
+	}
+	return p.Store().Put(key, data)
+}
+
+// Get reads a chunk sub-range by consulting the placement map, failing
+// over across replicas: down providers are skipped, and an error from
+// one replica moves on to the next. Reads rotate across the replica
+// set so replicated read load spreads over all copies.
 func (r *Router) Get(key chunk.Key, off, length int64) ([]byte, error) {
 	r.place.mu.RLock()
-	id, ok := r.place.m[key]
+	ids, ok := r.place.m[key]
 	r.place.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", chunk.ErrNotFound, key)
 	}
-	m := r.Manager
-	m.mu.RLock()
-	var p *Provider
-	for _, cand := range m.providers {
-		if cand.ID() == id {
-			p = cand
-			break
-		}
-	}
-	m.mu.RUnlock()
-	if p == nil {
-		return nil, fmt.Errorf("provider: placement references unknown provider %d", id)
-	}
-	return p.Store().Get(key, off, length)
+	return r.getFromSet(ids, key, off, length)
 }
 
-// Locate returns the provider ID that holds the key.
-func (r *Router) Locate(key chunk.Key) (ID, bool) {
+// GetFrom reads like Get but tries the given replica set first — the
+// replica hint carried by chunk.Ref in metadata. If every hinted
+// replica fails (stale hint after a repair moved the copies), it falls
+// back to the router's own placement map.
+func (r *Router) GetFrom(replicas []ID, key chunk.Key, off, length int64) ([]byte, error) {
+	if len(replicas) > 0 {
+		if data, err := r.getFromSet(replicas, key, off, length); err == nil {
+			return data, nil
+		}
+	}
+	return r.Get(key, off, length)
+}
+
+// getFromSet tries each replica in rotated order and returns the first
+// successful read.
+func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) ([]byte, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("%w: %s (empty replica set)", chunk.ErrNotFound, key)
+	}
+	start := r.rdNext.Add(1) - 1
+	var lastErr error
+	for i := 0; i < len(ids); i++ {
+		id := ids[(start+uint64(i))%uint64(len(ids))]
+		p := r.byID(id)
+		if p == nil {
+			lastErr = fmt.Errorf("provider: placement references unknown provider %d", id)
+			continue
+		}
+		if p.Down() {
+			lastErr = fmt.Errorf("provider %d: %w", id, ErrProviderDown)
+			continue
+		}
+		data, err := p.Store().Get(key, off, length)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = fmt.Errorf("provider %d: %w", id, err)
+	}
+	return nil, fmt.Errorf("provider: all %d replicas of %s failed: %w", len(ids), key, lastErr)
+}
+
+// Locate returns the replica set recorded for the key.
+func (r *Router) Locate(key chunk.Key) ([]ID, bool) {
 	r.place.mu.RLock()
 	defer r.place.mu.RUnlock()
-	id, ok := r.place.m[key]
-	return id, ok
+	ids, ok := r.place.m[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]ID, len(ids))
+	copy(out, ids)
+	return out, true
+}
+
+// RepairStats summarizes one re-replication pass.
+type RepairStats struct {
+	Scanned  int // chunks examined
+	Degraded int // chunks found below the replication degree
+	Copied   int // new copies written
+	Repaired int // chunks restored to full degree
+	Lost     int // chunks with no surviving replica (data loss)
+	Failed   int // chunks whose repair attempt failed
+}
+
+// Repair is the re-replication pass: it scans the placement map for
+// chunks whose live replica count dropped below the replication degree
+// (a provider died), copies them from a surviving replica onto new
+// distinct providers, and updates placement. Chunks with no surviving
+// replica are counted as Lost — with R >= 2 that requires losing
+// multiple machines between repairs. Safe to run while writes proceed;
+// each chunk is repaired independently.
+func (r *Router) Repair() RepairStats {
+	want := r.Replicas()
+	r.place.mu.RLock()
+	keys := make([]chunk.Key, 0, len(r.place.m))
+	for k := range r.place.m {
+		keys = append(keys, k)
+	}
+	r.place.mu.RUnlock()
+
+	var st RepairStats
+	for _, key := range keys {
+		st.Scanned++
+		r.place.mu.RLock()
+		ids := r.place.m[key]
+		r.place.mu.RUnlock()
+		live := make([]ID, 0, len(ids))
+		for _, id := range ids {
+			if p := r.byID(id); p != nil && !p.Down() {
+				live = append(live, id)
+			}
+		}
+		if len(live) == len(ids) && len(live) >= want {
+			continue
+		}
+		st.Degraded++
+		if len(live) == 0 {
+			st.Lost++
+			continue
+		}
+		newIDs, err := r.rereplicate(key, live, want)
+		if err != nil {
+			st.Failed++
+			continue
+		}
+		st.Copied += len(newIDs) - len(live)
+		if len(newIDs) >= want {
+			st.Repaired++
+		} else {
+			st.Failed++
+		}
+		r.place.mu.Lock()
+		r.place.m[key] = newIDs
+		r.place.mu.Unlock()
+	}
+	return st
+}
+
+// rereplicate copies one chunk from a surviving replica onto enough new
+// providers to restore the replication degree, returning the new
+// replica set (live survivors plus new copies).
+func (r *Router) rereplicate(key chunk.Key, live []ID, want int) ([]ID, error) {
+	missing := want - len(live)
+	if missing <= 0 {
+		return live, nil
+	}
+	data, err := r.readFull(key, live)
+	if err != nil {
+		return nil, err
+	}
+	exclude := make(map[ID]bool, len(live))
+	for _, id := range live {
+		exclude[id] = true
+	}
+	targets, err := r.allocateExcluding(missing, exclude)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]ID(nil), live...)
+	for _, p := range targets {
+		if err := r.putOne(p, key, data); err != nil {
+			// Tolerate ErrExists: an earlier partial repair or a
+			// quorum-failed Put may have left a valid copy here.
+			if errors.Is(err, chunk.ErrExists) {
+				out = append(out, p.ID())
+				continue
+			}
+			return out, err
+		}
+		out = append(out, p.ID())
+	}
+	return out, nil
+}
+
+// readFull reads a whole chunk from the first surviving replica able to
+// serve it.
+func (r *Router) readFull(key chunk.Key, live []ID) ([]byte, error) {
+	var lastErr error
+	for _, id := range live {
+		p := r.byID(id)
+		if p == nil || p.Down() {
+			continue
+		}
+		size, err := p.Store().Len(key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := p.Store().Get(key, 0, size)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return data, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: %s", chunk.ErrNotFound, key)
+	}
+	return nil, lastErr
 }

@@ -2,6 +2,8 @@ package provider
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -40,25 +42,130 @@ func TestAllocateEmpty(t *testing.T) {
 	}
 }
 
-func TestAllocateNBalances(t *testing.T) {
-	m, _ := NewPool(4, iosim.CostModel{})
-	ps, err := m.AllocateN(8)
-	if err != nil {
+func TestAllocateSkipsDownProviders(t *testing.T) {
+	m, _ := NewPool(3, iosim.CostModel{})
+	if err := m.SetDown(1, true); err != nil {
 		t.Fatal(err)
 	}
-	counts := map[ID]int{}
-	for _, p := range ps {
-		counts[p.ID()]++
+	if m.Live() != 2 || m.Count() != 3 {
+		t.Fatalf("Live = %d, Count = %d", m.Live(), m.Count())
 	}
-	for id, c := range counts {
-		if c != 2 {
-			t.Fatalf("provider %d got %d allocations, want 2", id, c)
+	for i := 0; i < 12; i++ {
+		p, err := m.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ID() == 1 {
+			t.Fatal("allocated to a down provider")
 		}
 	}
-	for _, p := range m.Providers() {
-		if p.Allocated() != 2 {
-			t.Fatalf("provider %d Allocated = %d", p.ID(), p.Allocated())
+	if err := m.SetDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() != 3 {
+		t.Fatalf("Live after revival = %d", m.Live())
+	}
+	if err := m.SetDown(99, true); err == nil {
+		t.Fatal("SetDown of unknown provider must fail")
+	}
+}
+
+// Property: AllocateN always returns n distinct providers, never a
+// down one — the invariant that makes replicas of one chunk survive a
+// single machine loss.
+func TestPropAllocateNDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		pool := 1 + rng.Intn(8)
+		m, _ := NewPool(pool, iosim.CostModel{})
+		down := map[ID]bool{}
+		for id := 0; id < pool; id++ {
+			if rng.Intn(3) == 0 {
+				down[ID(id)] = true
+				if err := m.SetDown(ID(id), true); err != nil {
+					t.Fatal(err)
+				}
+			}
 		}
+		live := pool - len(down)
+		if live == 0 {
+			continue
+		}
+		n := 1 + rng.Intn(live)
+		ps, err := m.AllocateN(n)
+		if err != nil {
+			t.Fatalf("trial %d: AllocateN(%d) with %d live: %v", trial, n, live, err)
+		}
+		seen := map[ID]bool{}
+		for _, p := range ps {
+			if seen[p.ID()] {
+				t.Fatalf("trial %d: duplicate replica target %d in %d picks", trial, p.ID(), n)
+			}
+			if down[p.ID()] {
+				t.Fatalf("trial %d: down provider %d allocated", trial, p.ID())
+			}
+			seen[p.ID()] = true
+		}
+	}
+}
+
+// Property: consecutive AllocateN calls stay round-robin balanced —
+// per-provider allocation counts never drift apart by more than one.
+func TestPropAllocateNBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		pool := 2 + rng.Intn(7)
+		m, _ := NewPool(pool, iosim.CostModel{})
+		r := 1 + rng.Intn(pool)
+		calls := 20 + rng.Intn(100)
+		for i := 0; i < calls; i++ {
+			if _, err := m.AllocateN(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lo, hi := int64(1<<62), int64(0)
+		for _, p := range m.Providers() {
+			c := p.Allocated()
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("trial %d: pool=%d R=%d calls=%d imbalance %d..%d", trial, pool, r, calls, lo, hi)
+		}
+	}
+}
+
+// AllocateN must fail with the typed error when the replication degree
+// exceeds the live provider count.
+func TestAllocateNInsufficientProviders(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	if err := m.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDown(3, true); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.AllocateN(3)
+	if !errors.Is(err, ErrInsufficientProviders) {
+		t.Fatalf("err = %v, want ErrInsufficientProviders", err)
+	}
+	var typed *InsufficientProvidersError
+	if !errors.As(err, &typed) {
+		t.Fatalf("err %v is not *InsufficientProvidersError", err)
+	}
+	if typed.Want != 3 || typed.Live != 2 {
+		t.Fatalf("typed error = %+v, want Want=3 Live=2", typed)
+	}
+	// Enough live providers again: succeeds.
+	if err := m.SetDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocateN(3); err != nil {
+		t.Fatalf("AllocateN after revival: %v", err)
 	}
 }
 
@@ -92,13 +199,16 @@ func TestRouterPutGet(t *testing.T) {
 	m, _ := NewPool(3, iosim.CostModel{})
 	r := NewRouter(m)
 	key := chunk.Key{Blob: 1, Version: 5, Index: 0}
-	id, err := r.Put(key, []byte("routed data"))
+	ids, err := r.Put(key, []byte("routed data"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotID, ok := r.Locate(key)
-	if !ok || gotID != id {
-		t.Fatalf("Locate = %d,%v want %d", gotID, ok, id)
+	if len(ids) != 1 {
+		t.Fatalf("unreplicated Put stored %d copies", len(ids))
+	}
+	gotIDs, ok := r.Locate(key)
+	if !ok || len(gotIDs) != 1 || gotIDs[0] != ids[0] {
+		t.Fatalf("Locate = %v,%v want %v", gotIDs, ok, ids)
 	}
 	data, err := r.Get(key, 7, 4)
 	if err != nil {
@@ -140,6 +250,195 @@ func TestRouterDistributesChunks(t *testing.T) {
 	}
 }
 
+func TestRouterReplicatedPut(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	r := NewRouter(m)
+	r.SetReplicas(3)
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("replicated"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("stored %d copies, want 3", len(ids))
+	}
+	seen := map[ID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("replica set %v has duplicates", ids)
+		}
+		seen[id] = true
+		p := m.byID(id)
+		if p == nil {
+			t.Fatalf("unknown provider %d in replica set", id)
+		}
+		if _, err := p.Store().Get(key, 0, 10); err != nil {
+			t.Fatalf("replica on provider %d unreadable: %v", id, err)
+		}
+	}
+}
+
+func TestRouterFailoverRead(t *testing.T) {
+	m, _ := NewPool(3, iosim.CostModel{})
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("survives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill one replica holder: reads must fail over to the survivor —
+	// every time, regardless of read-rotation state.
+	if err := m.SetDown(ids[0], true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		data, err := r.Get(key, 0, 8)
+		if err != nil || string(data) != "survives" {
+			t.Fatalf("degraded Get = %q, %v", data, err)
+		}
+	}
+	// GetFrom with the write-time hint works the same way.
+	data, err := r.GetFrom(ids, key, 0, 8)
+	if err != nil || string(data) != "survives" {
+		t.Fatalf("degraded GetFrom = %q, %v", data, err)
+	}
+	// Kill the second replica too: the read must now fail.
+	if err := m.SetDown(ids[1], true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(key, 0, 8); !errors.Is(err, ErrProviderDown) {
+		t.Fatalf("Get with all replicas down = %v, want ErrProviderDown", err)
+	}
+}
+
+func TestRouterGetFromStaleHint(t *testing.T) {
+	// A hint referencing only dead/unknown providers must fall back to
+	// the router's placement map.
+	m, _ := NewPool(3, iosim.CostModel{})
+	r := NewRouter(m)
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	if _, err := r.Put(key, []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.GetFrom([]ID{77, 78}, key, 0, 4)
+	if err != nil || string(data) != "real" {
+		t.Fatalf("stale-hint GetFrom = %q, %v", data, err)
+	}
+}
+
+func TestRouterWriteQuorum(t *testing.T) {
+	newRouter := func(replicas, quorum int) (*Router, []*chunk.FaultStore) {
+		m := NewManager()
+		var faults []*chunk.FaultStore
+		for i := 0; i < 3; i++ {
+			f := chunk.NewFaultStore(chunk.NewMemStore(nil))
+			faults = append(faults, f)
+			m.Register(New(ID(i), f))
+		}
+		r := NewRouter(m)
+		r.SetReplicas(replicas)
+		r.SetWriteQuorum(quorum)
+		return r, faults
+	}
+
+	// Default quorum R-1: one failed copy still commits.
+	r, faults := newRouter(3, 0)
+	if got := r.WriteQuorum(); got != 2 {
+		t.Fatalf("default quorum for R=3 is %d, want 2", got)
+	}
+	faults[1].SetDown(true)
+	ids, err := r.Put(chunk.Key{Blob: 1}, []byte("x"))
+	if err != nil {
+		t.Fatalf("Put with one dead store: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("recorded %d replicas, want the 2 that landed", len(ids))
+	}
+
+	// Quorum R: any failed copy fails the write.
+	r, faults = newRouter(3, 3)
+	faults[2].SetDown(true)
+	if _, err := r.Put(chunk.Key{Blob: 2}, []byte("x")); !errors.Is(err, chunk.ErrDown) {
+		t.Fatalf("strict-quorum Put = %v, want ErrDown", err)
+	}
+
+	// Two dead stores beat the default quorum: write fails.
+	r, faults = newRouter(3, 0)
+	faults[0].SetDown(true)
+	faults[1].SetDown(true)
+	if _, err := r.Put(chunk.Key{Blob: 3}, []byte("x")); err == nil {
+		t.Fatal("Put below quorum must fail")
+	}
+}
+
+func TestRouterRepair(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	const chunks = 12
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("chunk-%02d", i)) }
+	for i := 0; i < chunks; i++ {
+		if _, err := r.Put(chunk.Key{Blob: 1, Index: uint32(i)}, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.SetDown(2, true); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Repair()
+	if st.Scanned != chunks {
+		t.Fatalf("scanned %d, want %d", st.Scanned, chunks)
+	}
+	if st.Degraded == 0 || st.Repaired != st.Degraded || st.Lost != 0 || st.Failed != 0 {
+		t.Fatalf("repair stats %+v", st)
+	}
+	// Every chunk is back at full degree on live distinct providers.
+	for i := 0; i < chunks; i++ {
+		key := chunk.Key{Blob: 1, Index: uint32(i)}
+		ids, ok := r.Locate(key)
+		if !ok || len(ids) != 2 {
+			t.Fatalf("chunk %d replica set %v after repair", i, ids)
+		}
+		if ids[0] == ids[1] {
+			t.Fatalf("chunk %d repaired onto duplicate provider %v", i, ids)
+		}
+		for _, id := range ids {
+			if id == 2 {
+				t.Fatalf("chunk %d still placed on dead provider", i)
+			}
+		}
+		got, err := r.Get(key, 0, int64(len(payload(i))))
+		if err != nil || string(got) != string(payload(i)) {
+			t.Fatalf("chunk %d after repair: %q, %v", i, got, err)
+		}
+	}
+	// A second pass finds nothing to do.
+	st = r.Repair()
+	if st.Degraded != 0 || st.Copied != 0 {
+		t.Fatalf("second repair pass not idempotent: %+v", st)
+	}
+}
+
+func TestRouterRepairLost(t *testing.T) {
+	// R=1 with the single holder dead: the chunk is lost, counted, and
+	// repair does not invent data.
+	m, _ := NewPool(2, iosim.CostModel{})
+	r := NewRouter(m)
+	key := chunk.Key{Blob: 1}
+	ids, err := r.Put(key, []byte("only copy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDown(ids[0], true); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Repair()
+	if st.Lost != 1 || st.Repaired != 0 {
+		t.Fatalf("repair stats %+v, want 1 lost", st)
+	}
+}
+
 func TestNewPoolMeters(t *testing.T) {
 	m, meters := NewPool(2, iosim.CostModel{})
 	if m.Count() != 2 || len(meters) != 2 {
@@ -175,6 +474,26 @@ func TestRandomPolicyCoversAllProviders(t *testing.T) {
 	for _, p := range m.Providers() {
 		if p.Allocated() == 0 {
 			t.Fatalf("provider %d never allocated under random policy", p.ID())
+		}
+	}
+}
+
+func TestNonRoundRobinPoliciesStayDistinct(t *testing.T) {
+	for _, pol := range []Policy{Random, LeastLoaded} {
+		m, _ := NewPool(4, iosim.CostModel{})
+		m.SetPolicy(pol)
+		for i := 0; i < 50; i++ {
+			ps, err := m.AllocateN(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[ID]bool{}
+			for _, p := range ps {
+				if seen[p.ID()] {
+					t.Fatalf("%v: duplicate replica target", pol)
+				}
+				seen[p.ID()] = true
+			}
 		}
 	}
 }

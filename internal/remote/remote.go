@@ -199,30 +199,62 @@ type PutChunkArgs struct {
 	Data []byte
 }
 
-// PutChunk RPC.
-func (s *DataServer) PutChunk(a *PutChunkArgs, reply *provider.ID) error {
-	id, err := s.R.Put(a.Key, a.Data)
+// PutChunk RPC. The reply is the replica set: the providers that hold
+// a copy after the quorum write.
+func (s *DataServer) PutChunk(a *PutChunkArgs, reply *[]provider.ID) error {
+	ids, err := s.R.Put(a.Key, a.Data)
 	if err != nil {
 		return err
 	}
-	*reply = id
+	*reply = ids
 	return nil
 }
 
-// GetChunkArgs reads a chunk sub-range.
+// GetChunkArgs reads a chunk sub-range. Replicas, when non-empty, is
+// the write-time replica hint from metadata: the server tries those
+// copies first and fails over before consulting its placement map.
 type GetChunkArgs struct {
 	Key         chunk.Key
 	Off, Length int64
+	Replicas    []provider.ID
 }
 
 // GetChunk RPC.
 func (s *DataServer) GetChunk(a *GetChunkArgs, reply *[]byte) error {
-	data, err := s.R.Get(a.Key, a.Off, a.Length)
+	var data []byte
+	var err error
+	if len(a.Replicas) > 0 {
+		data, err = s.R.GetFrom(a.Replicas, a.Key, a.Off, a.Length)
+	} else {
+		data, err = s.R.Get(a.Key, a.Off, a.Length)
+	}
 	if err != nil {
 		return err
 	}
 	*reply = data
 	return nil
+}
+
+// RepairArgs triggers a re-replication pass.
+type RepairArgs struct{}
+
+// Repair RPC: scan placement for chunks below the replication degree
+// and re-replicate them from surviving copies (bsctl repair).
+func (s *DataServer) Repair(_ *RepairArgs, reply *provider.RepairStats) error {
+	*reply = s.R.Repair()
+	return nil
+}
+
+// SetDownArgs marks one provider dead or revived.
+type SetDownArgs struct {
+	Provider provider.ID
+	Down     bool
+}
+
+// SetProviderDown RPC: administrative kill switch used to drain a
+// machine or to model its loss (bsctl down/up).
+func (s *DataServer) SetProviderDown(a *SetDownArgs, _ *struct{}) error {
+	return s.R.SetDown(a.Provider, a.Down)
 }
 
 // --- Node (server process) ---
@@ -419,10 +451,10 @@ func (c *Client) TryGetNode(blobID uint64, key segtree.NodeKey) (*segtree.Node, 
 }
 
 // Put implements blob.DataService.
-func (c *Client) Put(key chunk.Key, data []byte) (provider.ID, error) {
-	var id provider.ID
-	err := c.data.Call(dataService+".PutChunk", &PutChunkArgs{Key: key, Data: data}, &id)
-	return id, err
+func (c *Client) Put(key chunk.Key, data []byte) ([]provider.ID, error) {
+	var ids []provider.ID
+	err := c.data.Call(dataService+".PutChunk", &PutChunkArgs{Key: key, Data: data}, &ids)
+	return ids, err
 }
 
 // Get implements blob.DataService.
@@ -430,4 +462,26 @@ func (c *Client) Get(key chunk.Key, off, length int64) ([]byte, error) {
 	var data []byte
 	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length}, &data)
 	return data, err
+}
+
+// GetFrom implements blob.DataService: a read carrying the replica
+// hint recorded in metadata, served with server-side failover.
+func (c *Client) GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, error) {
+	var data []byte
+	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length, Replicas: replicas}, &data)
+	return data, err
+}
+
+// Repair runs a re-replication pass on the data node and returns its
+// statistics.
+func (c *Client) Repair() (provider.RepairStats, error) {
+	var st provider.RepairStats
+	err := c.data.Call(dataService+".Repair", &RepairArgs{}, &st)
+	return st, err
+}
+
+// SetProviderDown marks one provider on the data node dead (or revives
+// it).
+func (c *Client) SetProviderDown(id provider.ID, down bool) error {
+	return c.data.Call(dataService+".SetProviderDown", &SetDownArgs{Provider: id, Down: down}, &struct{}{})
 }

@@ -221,6 +221,83 @@ func TestVersionsOverRPC(t *testing.T) {
 	}
 }
 
+func TestReplicatedDataNodeOverRPC(t *testing.T) {
+	// A data node with R=2: writes return replica sets, a provider
+	// killed over RPC leaves every version readable via failover, and
+	// the repair RPC restores full degree so a second loss is survivable.
+	mgr, _ := provider.NewPool(4, iosim.CostModel{})
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(2)
+	node, err := Listen("127.0.0.1:0", Roles{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: router,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	addr := node.Addr()
+	c := dialClient(t, Endpoints{VM: addr, Meta: addr, Data: addr})
+
+	ids, err := c.Put(chunk.Key{Blob: 7}, []byte("two copies"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] == ids[1] {
+		t.Fatalf("replica set over RPC = %v", ids)
+	}
+
+	b, err := blob.Create(c.Services(), 1, segtree.Geometry{Capacity: 1 << 16, Page: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("r"), 2000)
+	var versions []uint64
+	for i := 0; i < 4; i++ {
+		v, err := b.Write(int64(i)*1500, payload, blob.WriteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, v)
+	}
+
+	if err := c.SetProviderDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range versions {
+		got, err := b.ReadAt(v, int64(v-1)*1500, 2000)
+		if err != nil {
+			t.Fatalf("degraded read of v%d: %v", v, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("degraded read of v%d corrupt", v)
+		}
+	}
+
+	st, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded == 0 || st.Repaired != st.Degraded || st.Lost != 0 {
+		t.Fatalf("repair over RPC: %+v", st)
+	}
+	// Full degree is restored: losing a second provider still leaves
+	// every version readable.
+	if err := c.SetProviderDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range versions {
+		if _, err := b.ReadAt(v, int64(v-1)*1500, 2000); err != nil {
+			t.Fatalf("read of v%d after repair + second loss: %v", v, err)
+		}
+	}
+	// Unknown provider id surfaces the server-side error.
+	if err := c.SetProviderDown(99, true); err == nil {
+		t.Fatal("SetProviderDown(99) must fail")
+	}
+}
+
 func TestAbortOverRPC(t *testing.T) {
 	_, ep := startNode(t)
 	c := dialClient(t, ep)

@@ -134,7 +134,7 @@ func diffLeaves(page extent.Extent, a, b *Node) extent.List {
 			if n > ext.End()-off {
 				n = ext.End() - off
 			}
-			if ra != rb {
+			if !ra.EqualData(rb) {
 				out = append(out, extent.Extent{Offset: off, Length: n})
 			}
 			off += n
@@ -170,7 +170,7 @@ func fragmentsEqual(a, b []Fragment) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].Ext != b[i].Ext || !a[i].Ref.EqualData(b[i].Ref) {
 			return false
 		}
 	}

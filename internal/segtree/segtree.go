@@ -370,9 +370,10 @@ func overlayFragments(old, newFrags []Fragment, newCovered extent.List) []Fragme
 			out = append(out, Fragment{
 				Ext: s,
 				Ref: chunk.Ref{
-					Key:    f.Ref.Key,
-					Offset: f.Ref.Offset + (s.Offset - f.Ext.Offset),
-					Length: s.Length,
+					Key:      f.Ref.Key,
+					Offset:   f.Ref.Offset + (s.Offset - f.Ext.Offset),
+					Length:   s.Length,
+					Replicas: f.Ref.Replicas,
 				},
 			})
 		}
@@ -499,9 +500,10 @@ func (t *Tree) resolveLeaf(n *Node, q extent.List, frags *[]Fragment, holes *ext
 				*frags = append(*frags, Fragment{
 					Ext: want,
 					Ref: chunk.Ref{
-						Key:    f.Ref.Key,
-						Offset: f.Ref.Offset + (want.Offset - f.Ext.Offset),
-						Length: want.Length,
+						Key:      f.Ref.Key,
+						Offset:   f.Ref.Offset + (want.Offset - f.Ext.Offset),
+						Length:   want.Length,
+						Replicas: f.Ref.Replicas,
 					},
 				})
 			}
@@ -539,7 +541,7 @@ func SplitPlaced(pieces []Placed, page int64) []Placed {
 			}
 			out = append(out, Placed{
 				Ext: extent.Extent{Offset: off, Length: n},
-				Ref: chunk.Ref{Key: p.Ref.Key, Offset: refOff, Length: n},
+				Ref: chunk.Ref{Key: p.Ref.Key, Offset: refOff, Length: n, Replicas: p.Ref.Replicas},
 			})
 			off += n
 			refOff += n

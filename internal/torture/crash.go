@@ -1,0 +1,199 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chunk"
+	"repro/internal/cluster"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/verify"
+)
+
+// CrashConfig parameterizes one provider-crash torture run: the usual
+// overlap-heavy workload, executed on a versioning deployment with
+// replication degree Replicas over Providers data providers, while a
+// seed-scheduled provider dies mid-workload.
+type CrashConfig struct {
+	Config
+	// Replicas is the replication degree R (>= 1).
+	Replicas int
+	// Providers is the data-provider pool size (default 8).
+	Providers int
+}
+
+// CrashPlan is the seed-derived crash schedule: Victim dies once
+// AfterCalls atomic writes have completed. Both values come from the
+// config's seed alone, so a failing run replays exactly.
+type CrashPlan struct {
+	Victim     provider.ID
+	AfterCalls int
+}
+
+// Plan derives the crash schedule from the seed. The kill lands in the
+// middle half of the workload so writes race it from both sides.
+func (c CrashConfig) Plan() CrashPlan {
+	providers := c.Providers
+	if providers <= 0 {
+		providers = 8
+	}
+	// A distinct stream from the call generator: same seed, different
+	// constant, so schedule and calls stay independently replayable.
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x63726173682d7631)) // "crash-v1"
+	total := c.Writers * c.CallsPerWriter
+	return CrashPlan{
+		Victim:     provider.ID(rng.Intn(providers)),
+		AfterCalls: total/4 + rng.Intn(total/2+1),
+	}
+}
+
+// CrashReport summarizes one crash run.
+type CrashReport struct {
+	Plan        CrashPlan
+	FailedCalls int  // writes that failed (possible only at R=1)
+	DataLoss    bool // a published snapshot lost bytes (R=1 only)
+	Scrubbed    int  // versions read back in full after the crash
+	Repair      provider.RepairStats
+	PostRepair  int // versions scrubbed after repair plus a second kill
+}
+
+// RunCrash executes the crash schedule against a replicated versioning
+// deployment and checks the suite's durability contract:
+//
+//   - Writes keep committing: allocation routes around the dead
+//     provider, and the write quorum absorbs a mid-flight loss. With
+//     R >= 2 every call must succeed; with R = 1 calls racing the
+//     crash may fail (and are excluded from the serializability
+//     check), which is the exposure replication removes.
+//   - The final state is serializable over the successful calls (MPI
+//     atomicity survives the crash).
+//   - With R >= 2 every published snapshot remains fully readable via
+//     replica failover, a repair pass restores full replication
+//     degree, and after a second provider loss every snapshot is
+//     still readable — committed data survives any single machine
+//     loss, repeatedly, as long as repairs run between losses.
+//   - With R = 1 a detected data loss is reported, not failed: it is
+//     the motivating deficiency, asserted by its test.
+func RunCrash(cfg CrashConfig) (CrashReport, error) {
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Providers <= 0 {
+		cfg.Providers = 8
+	}
+	perWriter, err := cfg.Calls()
+	if err != nil {
+		return CrashReport{}, err
+	}
+	plan := cfg.Plan()
+	report := CrashReport{Plan: plan}
+
+	env := cluster.Default()
+	env.Providers = cfg.Providers
+	env.Replicas = cfg.Replicas
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		return report, err
+	}
+	be, err := svc.Backend(1, cfg.Span())
+	if err != nil {
+		return report, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+
+	var completed atomic.Int64
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() { _ = svc.Providers.SetDown(plan.Victim, true) })
+	}
+
+	var mu sync.Mutex
+	okCalls := make([]verify.Call, 0, cfg.Writers*cfg.CallsPerWriter)
+	var failures []error
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, call := range perWriter[w] {
+				vec, err := verify.MakeVec(call)
+				if err == nil {
+					err = d.WriteList(vec, true)
+				}
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, fmt.Errorf("call %d: %w", call.ID, err))
+				} else {
+					okCalls = append(okCalls, call)
+				}
+				mu.Unlock()
+				if int(completed.Add(1)) >= plan.AfterCalls {
+					kill()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	kill() // schedules past the workload end still kill before checking
+
+	report.FailedCalls = len(failures)
+	if cfg.Replicas >= 2 && len(failures) > 0 {
+		return report, fmt.Errorf("torture(seed=%d): R=%d writes failed despite quorum: %w",
+			cfg.Seed, cfg.Replicas, errors.Join(failures...))
+	}
+	for _, err := range failures {
+		// At R=1 only crash-induced failures are tolerated.
+		if !errors.Is(err, provider.ErrProviderDown) && !errors.Is(err, provider.ErrInsufficientProviders) {
+			return report, fmt.Errorf("torture(seed=%d): unexpected write failure: %w", cfg.Seed, err)
+		}
+	}
+
+	// MPI atomicity over the calls that committed.
+	if err := verify.CheckCalls(reader{d}, okCalls); err != nil {
+		if cfg.Replicas == 1 && isLossErr(err) {
+			report.DataLoss = true
+			return report, nil
+		}
+		return report, fmt.Errorf("torture(seed=%d): %w", cfg.Seed, err)
+	}
+
+	if cfg.Replicas == 1 {
+		// Snapshots referencing chunks on the dead provider may or may
+		// not exist; nothing further to assert.
+		return report, nil
+	}
+
+	// Durability: every published snapshot fully readable via failover.
+	n, err := be.Scrub()
+	report.Scrubbed = n
+	if err != nil {
+		return report, fmt.Errorf("torture(seed=%d): snapshot lost after single provider crash: %w", cfg.Seed, err)
+	}
+
+	// Repair restores full degree...
+	report.Repair = svc.Router.Repair()
+	if report.Repair.Lost > 0 || report.Repair.Failed > 0 || report.Repair.Repaired != report.Repair.Degraded {
+		return report, fmt.Errorf("torture(seed=%d): repair incomplete: %+v", cfg.Seed, report.Repair)
+	}
+	// ...so a second, different provider loss is also survivable.
+	second := provider.ID((int(plan.Victim) + 1) % cfg.Providers)
+	if err := svc.Providers.SetDown(second, true); err != nil {
+		return report, err
+	}
+	n, err = be.Scrub()
+	report.PostRepair = n
+	if err != nil {
+		return report, fmt.Errorf("torture(seed=%d): snapshot lost after repair + second crash: %w", cfg.Seed, err)
+	}
+	return report, nil
+}
+
+// isLossErr reports whether a verification failure traces back to an
+// unreadable (dead) provider rather than an atomicity violation.
+func isLossErr(err error) bool {
+	return errors.Is(err, provider.ErrProviderDown) || errors.Is(err, chunk.ErrDown)
+}

@@ -11,6 +11,14 @@
 // happens before any goroutine starts, so a failing run is reproduced
 // by its seed alone (the scheduler only picks WHICH serial order the
 // backend must be equivalent to, never the calls themselves).
+//
+// Beyond pure atomicity, the suite also tortures durability: crash.go
+// runs the same workload on replicated deployments while a
+// seed-scheduled data provider dies mid-run (see CrashConfig/RunCrash),
+// asserting that writes keep committing via the write quorum, the
+// outcome stays serializable, and with R >= 2 every published snapshot
+// survives the loss — and a repair pass restores enough redundancy to
+// survive the next one.
 package torture
 
 import (
