@@ -3,10 +3,11 @@
 // atomic overlapped non-contiguous writes, MPI-tile-IO, region-count
 // sweep, overlap sweep, striping sweep, and the headline throughput
 // ratio) plus the follow-on scenarios: E7 producer/consumer, E8 group
-// commit, and E9 chunk replication (write overhead of R copies and
-// degraded-read throughput with a provider killed mid-run). Expect a
-// full run to take a few minutes; -quick shrinks the matrix for smoke
-// runs.
+// commit, E9 chunk replication (write overhead of R copies and
+// degraded-read throughput with a provider killed mid-run), and E10
+// self-healing (time from an undetected provider-store loss to full
+// re-replication, with and without read-repair). Expect a full run to
+// take a few minutes; -quick shrinks the matrix for smoke runs.
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		runE7(*quick)
 		runE8(*quick)
 		runE9(*quick)
+		runE10(*quick)
 	}
 	runE6(*quick)
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
@@ -325,6 +327,48 @@ func runE9(quick bool) {
 				fmt.Sprintf("%.1fms", float64(res.RepairElapsed.Microseconds())/1000),
 				fmt.Sprintf("%d", res.Repair.Repaired),
 			)
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E10: self-healing — after a provider's store dies (no SetDown, no
+// repair command), how long until the error-driven detector notices
+// and the rate-limited scrubber/repair loop restores full replication,
+// with and without the read path feeding the repair queue. Ticks are
+// healer control-loop iterations; time is metered wall clock.
+func runE10(quick bool) {
+	clients := []int{8, 16}
+	if quick {
+		clients = []int{8}
+	}
+	tbl := bench.NewTable("E10: self-healing (32 regions x 64 KiB, overlap 0.75; one provider store killed, zero operator action)",
+		"clients", "R", "mode", "chunks", "degraded", "detect@tick", "heal ticks", "heal time", "repaired")
+	for _, n := range clients {
+		spec := workload.OverlapSpec{Clients: n, Regions: 32, RegionSize: 64 << 10, OverlapFraction: 0.75}
+		for _, r := range []int{2, 3} {
+			for _, rr := range []bool{false, true} {
+				res, err := bench.RunSelfHeal(env(), spec, bench.SelfHealOptions{Replicas: r, ReadRepair: rr})
+				if err != nil {
+					die(err)
+				}
+				mode := "scrub only"
+				if rr {
+					mode = "+read-repair"
+				}
+				tbl.AddRow(
+					fmt.Sprintf("%d", n),
+					fmt.Sprintf("%d", r),
+					mode,
+					fmt.Sprintf("%d", res.Chunks),
+					fmt.Sprintf("%d", res.Degraded),
+					fmt.Sprintf("%d", res.DetectTicks),
+					fmt.Sprintf("%d", res.HealTicks),
+					fmt.Sprintf("%.1fms", float64(res.HealElapsed.Microseconds())/1000),
+					fmt.Sprintf("%d", res.Stats.Repaired),
+				)
+			}
 		}
 	}
 	tbl.Render(os.Stdout)

@@ -4,6 +4,7 @@
 //	blobseerd -listen :4000 -roles vm,meta,data
 //	blobseerd -listen :4001 -roles data -providers 16 -replicas 3
 //	blobseerd -listen :4002 -roles vm -batch 32 -batch-delay 200us
+//	blobseerd -listen :4003 -roles data -replicas 3 -self-heal -scrub-interval 50ms
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
 // of the three roles, which may be the same node or different nodes.
@@ -18,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/iosim"
 	"repro/internal/metadata"
 	"repro/internal/provider"
@@ -36,6 +38,14 @@ func main() {
 		simulate   = flag.Bool("simulate", false, "charge the synthetic cost models")
 		batch      = flag.Int("batch", 1, "version manager group-commit size (vm role; 1 disables)")
 		batchDelay = flag.Duration("batch-delay", 200*time.Microsecond, "max time a group leader lingers for the group to fill")
+
+		selfHeal      = flag.Bool("self-heal", false, "run the autonomous repair loop: error-driven failure detection, background scrubber, read-repair (data role)")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive store errors before a provider is marked down (self-heal)")
+		probation     = flag.Duration("probation", 2*time.Second, "down time before health probes may revive a provider (self-heal)")
+		scrubInterval = flag.Duration("scrub-interval", 100*time.Millisecond, "background healer tick period (self-heal)")
+		scrubRate     = flag.Int("scrub-rate", 64, "chunk replica verifications per healer tick (self-heal)")
+		repairRate    = flag.Int("repair-rate", 4, "re-replications per healer tick (self-heal)")
+		repairQueue   = flag.Int("repair-queue", 256, "bounded repair queue depth (self-heal)")
 	)
 	flag.Parse()
 
@@ -67,6 +77,22 @@ func main() {
 			roles.Data = provider.NewRouter(pool)
 			roles.Data.SetReplicas(*replicas)
 			roles.Data.SetWriteQuorum(*quorum)
+			if *selfHeal {
+				roles.Health = provider.NewHealthMonitor(pool, provider.HealthConfig{
+					Threshold: *failThreshold,
+					Probation: *probation,
+				})
+				roles.Data.SetHealthMonitor(roles.Health)
+				// A data-only daemon holds no blob handles; the healer
+				// scrubs the router's placement map directly.
+				roles.Healer = core.NewHealer(roles.Data, roles.Health, core.HealerConfig{
+					ScrubChunksPerTick: *scrubRate,
+					RepairsPerTick:     *repairRate,
+					QueueDepth:         *repairQueue,
+					Interval:           *scrubInterval,
+				})
+				roles.Data.SetDegradedHandler(roles.Healer.EnqueueRepair)
+			}
 		case "":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown role %q (want vm, meta, data)\n", role)
@@ -80,6 +106,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer node.Close()
+	if roles.Healer != nil {
+		roles.Healer.Run()
+		defer roles.Healer.Stop()
+		fmt.Printf("self-heal: threshold %d, probation %s, scrub %d chunks / repair %d chunks per %s tick\n",
+			*failThreshold, *probation, *scrubRate, *repairRate, *scrubInterval)
+	}
 	fmt.Printf("blobseerd serving %s on %s\n", *rolesFlag, node.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -9,6 +9,8 @@
 //	bsctl down -provider 2        # mark a data provider dead
 //	bsctl up -provider 2          # revive it
 //	bsctl repair                  # re-replicate chunks that lost copies
+//	bsctl health                  # failure-detector state per provider
+//	bsctl scrub [-sync]           # healer stats; -sync forces a full pass
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 	data := sub.String("data", "", "payload for write (repeated/truncated to fit)")
 	version := sub.Uint64("version", 0, "snapshot version for read (0 = latest)")
 	providerID := sub.Int("provider", -1, "data provider id (down/up)")
+	syncScrub := sub.Bool("sync", false, "run a full scrub+repair pass before reporting (scrub)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -131,6 +134,32 @@ func main() {
 		fmt.Printf("repair: scanned %d, degraded %d, copied %d, repaired %d, lost %d, failed %d\n",
 			st.Scanned, st.Degraded, st.Copied, st.Repaired, st.Lost, st.Failed)
 
+	case "health":
+		sts, err := cli.Health()
+		if err != nil {
+			fail(err)
+		}
+		for _, st := range sts {
+			line := fmt.Sprintf("provider %-3d %-10s fail %-6d ok %-6d consec %d",
+				st.Provider, st.State, st.Failures, st.Successes, st.Consec)
+			if st.State == provider.Down || st.State == provider.Probation {
+				line += fmt.Sprintf("  down since %s", st.DownSince.Format("15:04:05.000"))
+			}
+			fmt.Println(line)
+		}
+
+	case "scrub":
+		st, err := cli.Scrub(*syncScrub)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("scrub: ticks %d, passes %d, verified %d chunks (%d errors)\n",
+			st.Ticks, st.ScrubPasses, st.ScrubbedChunks, st.ScrubErrors)
+		fmt.Printf("queue: enqueued %d, dup %d, dropped %d, depth %d\n",
+			st.Enqueued, st.Duplicates, st.Dropped, st.QueueLen)
+		fmt.Printf("repair: restored %d, healthy %d, failed %d, lost %d\n",
+			st.Repaired, st.RepairHealthy, st.RepairFailed, st.Lost)
+
 	case "down", "up":
 		if *providerID < 0 {
 			fail(fmt.Errorf("bsctl: %s requires -provider", cmd))
@@ -183,6 +212,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|repair|down|up [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|repair|health|scrub|down|up [flags]")
 	os.Exit(2)
 }

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/extent"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+// SelfHealOptions tunes RunSelfHeal.
+type SelfHealOptions struct {
+	// Replicas is the replication degree R (>= 2).
+	Replicas int
+	// ReadRepair runs a degraded read phase after the kill, so
+	// failover reads pre-feed the repair queue with the hot working
+	// set before the scrubber discovers anything.
+	ReadRepair bool
+	// ScrubRate / RepairRate bound healer work per tick (defaults 16/4
+	// — deliberately modest so discovery, not repair, is the visible
+	// bottleneck the read-repair mode removes).
+	ScrubRate, RepairRate int
+	// MaxTicks bounds the healing loop (default 2000).
+	MaxTicks int
+}
+
+// SelfHealResult is one measured self-healing cell: how long after a
+// provider loss the system takes to notice (detect) and to restore
+// full replication (heal), in healer ticks and metered wall time.
+type SelfHealResult struct {
+	Replicas    int
+	Clients     int
+	ReadRepair  bool
+	Chunks      int   // chunks the placement map tracks
+	Degraded    int   // under-replicated chunks right after the kill
+	Prefed      int64 // chunks enqueued by read-repair before healing began
+	DetectTicks int   // ticks until the victim was marked down (0 = before tick 1)
+	HealTicks   int   // ticks until full replication was restored
+	HealElapsed time.Duration
+	Stats       core.HealerStats
+}
+
+// RunSelfHeal measures experiment E10: N clients write an overlapped
+// workload at replication degree R, one provider's store dies, and the
+// self-healing loop — error-driven detection, scrubber, rate-limited
+// repair, optional read-repair — restores full replication with no
+// operator action. The with/without-ReadRepair comparison isolates
+// what the read path's degraded-chunk feed is worth: detection happens
+// on the first failed read instead of the first scrub probe, and the
+// hot working set enters the repair queue immediately instead of
+// waiting for the scrub cursor to reach it.
+func RunSelfHeal(env cluster.Env, spec workload.OverlapSpec, opts SelfHealOptions) (SelfHealResult, error) {
+	if err := spec.Validate(); err != nil {
+		return SelfHealResult{}, err
+	}
+	if opts.Replicas < 2 {
+		return SelfHealResult{}, fmt.Errorf("bench: self-heal needs R >= 2, got %d", opts.Replicas)
+	}
+	if opts.ScrubRate <= 0 {
+		opts.ScrubRate = 16
+	}
+	if opts.RepairRate <= 0 {
+		opts.RepairRate = 4
+	}
+	if opts.MaxTicks <= 0 {
+		opts.MaxTicks = 2000
+	}
+	env.Replicas = opts.Replicas
+	env.SelfHeal = true
+	env.FaultInjection = true
+	env.FailThreshold = 2
+	env.ScrubRate = opts.ScrubRate
+	env.RepairRate = opts.RepairRate
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		return SelfHealResult{}, err
+	}
+	be, err := svc.Backend(1, spec.FileSpan())
+	if err != nil {
+		return SelfHealResult{}, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+	res := SelfHealResult{Replicas: opts.Replicas, Clients: spec.Clients, ReadRepair: opts.ReadRepair}
+
+	// Virtual clock for probation timing: one tick = one second.
+	var vsec atomic.Int64
+	svc.Health.SetClock(func() time.Time { return time.Unix(vsec.Load(), 0) })
+
+	// Write phase: the replicated workload.
+	errs := make([]error, spec.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exts := spec.ExtentsFor(w)
+			buf := make([]byte, exts.TotalLength())
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			vec, err := extent.NewVec(exts, buf)
+			if err == nil {
+				err = d.WriteList(vec, true)
+			}
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// Kill provider 0's STORE — flags stay live, so the system must
+	// notice from errors.
+	const victim = provider.ID(0)
+	svc.Faults[victim].SetDown(true)
+	keys := svc.Router.Keys()
+	res.Chunks = len(keys)
+	// Count degraded chunks from placement records alone — probing the
+	// stores here would feed the health monitor and contaminate the
+	// detection measurement.
+	for _, key := range keys {
+		ids, _ := svc.Router.Locate(key)
+		for _, id := range ids {
+			if id == victim {
+				res.Degraded++
+				break
+			}
+		}
+	}
+
+	if opts.ReadRepair {
+		// Degraded read phase: every client reads the file once;
+		// failovers report the exact chunks that lost a copy.
+		span := spec.FileSpan()
+		var wg sync.WaitGroup
+		for w := 0; w < spec.Clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if _, err := d.ReadList(extent.List{{Offset: 0, Length: span}}, true); err != nil {
+					errs[w] = err
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return res, fmt.Errorf("bench: degraded read phase: %w", err)
+			}
+		}
+	}
+	res.Prefed = svc.Healer.Stats().Enqueued
+
+	// Healing loop: tick until full replication, counting virtual time.
+	// DetectTicks 0 means the read phase's error stream already tripped
+	// the detector before the first healer tick.
+	detect := -1
+	if svc.Health.State(victim) == provider.Down {
+		detect = 0
+	}
+	start := time.Now()
+	for t := 1; t <= opts.MaxTicks; t++ {
+		vsec.Add(1)
+		svc.Healer.Tick()
+		if detect < 0 && svc.Health.State(victim) == provider.Down {
+			detect = t
+		}
+		if svc.Healer.QueueLen() == 0 && svc.Router.UnderReplicated() == 0 {
+			res.HealTicks = t
+			break
+		}
+	}
+	res.HealElapsed = time.Since(start)
+	res.DetectTicks = detect
+	res.Stats = svc.Healer.Stats()
+	if res.HealTicks == 0 {
+		return res, fmt.Errorf("bench: self-heal did not converge in %d ticks: %+v", opts.MaxTicks, res.Stats)
+	}
+	// Durability check: every published version must read back.
+	if _, err := be.Scrub(); err != nil {
+		return res, fmt.Errorf("bench: scrub after self-heal: %w", err)
+	}
+	return res, nil
+}

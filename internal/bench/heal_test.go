@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestRunSelfHeal smoke-tests E10 unmetered: both modes converge, the
+// kill degrades something, and read-repair pre-feeds the queue and
+// detects the loss no later than scrub-only does.
+func TestRunSelfHeal(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 4, Regions: 16, RegionSize: 8 << 10, OverlapFraction: 0.5}
+	var ticks [2]int
+	for i, rr := range []bool{false, true} {
+		res, err := RunSelfHeal(cluster.Default(), spec, SelfHealOptions{Replicas: 2, ReadRepair: rr})
+		if err != nil {
+			t.Fatalf("readRepair=%v: %v", rr, err)
+		}
+		if res.Degraded == 0 {
+			t.Fatalf("readRepair=%v: kill degraded nothing: %+v", rr, res)
+		}
+		if res.HealTicks <= 0 || res.DetectTicks < 0 {
+			t.Fatalf("readRepair=%v: no convergence/detection: %+v", rr, res)
+		}
+		if rr && res.Prefed == 0 {
+			t.Fatalf("read-repair phase fed no chunks: %+v", res)
+		}
+		if !rr && res.Prefed != 0 {
+			t.Fatalf("scrub-only mode pre-fed %d chunks", res.Prefed)
+		}
+		ticks[i] = res.HealTicks
+	}
+	// Read-repair must never make healing slower.
+	if ticks[1] > ticks[0] {
+		t.Fatalf("read-repair healed in %d ticks, scrub-only in %d — read-repair made it worse", ticks[1], ticks[0])
+	}
+}
+
+// TestRunSelfHealValidation: R=1 has nothing to heal from.
+func TestRunSelfHealValidation(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 2, Regions: 4, RegionSize: 4 << 10, OverlapFraction: 0.5}
+	if _, err := RunSelfHeal(cluster.Default(), spec, SelfHealOptions{Replicas: 1}); err == nil {
+		t.Fatal("RunSelfHeal accepted R=1")
+	}
+}

@@ -47,11 +47,14 @@ var _ VersionService = (*vmanager.Manager)(nil)
 // client remotely. Put returns the replica set — the providers that
 // hold a copy — which writers record in metadata (chunk.Ref.Replicas)
 // so readers can fail over across copies; GetFrom is the replica-aware
-// read that tries that set first.
+// read that tries that set first. When the hinted set could not serve
+// the read (stale after a repair moved the copies) GetFrom serves from
+// authoritative placement instead and returns the current replica set
+// as fresh; the blob caches it so later reads skip the dead hint.
 type DataService interface {
 	Put(key chunk.Key, data []byte) ([]provider.ID, error)
 	Get(key chunk.Key, off, length int64) ([]byte, error)
-	GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, error)
+	GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) (data []byte, fresh []provider.ID, err error)
 }
 
 var _ DataService = (*provider.Router)(nil)
@@ -69,6 +72,15 @@ type Blob struct {
 	id   uint64
 	geo  segtree.Geometry
 	tree *segtree.Tree
+
+	// hints caches fresh replica sets learned from stale-hint reads:
+	// metadata refs are immutable, so after a repair moves a chunk's
+	// copies the ref's replica list goes stale forever. The first read
+	// through a stale hint falls back to the placement map and returns
+	// the current set; caching it here makes every later read of the
+	// same chunk go straight to the live copies.
+	hintMu sync.RWMutex
+	hints  map[chunk.Key][]provider.ID
 }
 
 // WriteOptions tunes one write call.
@@ -88,7 +100,7 @@ func Create(svc Services, id uint64, geo segtree.Geometry) (*Blob, error) {
 	if err := svc.VM.CreateBlob(id, geo); err != nil {
 		return nil, err
 	}
-	return &Blob{svc: svc, id: id, geo: geo, tree: &segtree.Tree{Blob: id, Geo: geo, Store: svc.Meta}}, nil
+	return newBlob(svc, id, geo), nil
 }
 
 // Open returns a handle to an existing blob.
@@ -97,7 +109,33 @@ func Open(svc Services, id uint64) (*Blob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Blob{svc: svc, id: id, geo: geo, tree: &segtree.Tree{Blob: id, Geo: geo, Store: svc.Meta}}, nil
+	return newBlob(svc, id, geo), nil
+}
+
+func newBlob(svc Services, id uint64, geo segtree.Geometry) *Blob {
+	return &Blob{
+		svc:   svc,
+		id:    id,
+		geo:   geo,
+		tree:  &segtree.Tree{Blob: id, Geo: geo, Store: svc.Meta},
+		hints: make(map[chunk.Key][]provider.ID),
+	}
+}
+
+// FreshHint returns the cached fresh replica set for a chunk whose
+// metadata hint was observed stale, if any.
+func (b *Blob) FreshHint(key chunk.Key) ([]provider.ID, bool) {
+	b.hintMu.RLock()
+	defer b.hintMu.RUnlock()
+	ids, ok := b.hints[key]
+	return ids, ok
+}
+
+// cacheHint records a fresh replica set for a stale-hinted chunk.
+func (b *Blob) cacheHint(key chunk.Key, ids []provider.ID) {
+	b.hintMu.Lock()
+	b.hints[key] = ids
+	b.hintMu.Unlock()
 }
 
 // ID returns the blob identifier.
@@ -277,7 +315,9 @@ func (b *Blob) ReadList(version uint64, q extent.List) ([]byte, error) {
 	// Fetch fragments in parallel. Refs carry the replica set recorded
 	// at write time: GetFrom fails over across those copies when a
 	// provider is down, falling back to the router's placement map when
-	// the hint has gone stale (a repair moved the copies).
+	// the hint has gone stale (a repair moved the copies). A cached
+	// fresh hint from an earlier stale read overrides the metadata
+	// hint, and any newly learned fresh set is cached for next time.
 	data := make([][]byte, len(frags))
 	errs := make(chan error, len(frags))
 	var wg sync.WaitGroup
@@ -285,14 +325,20 @@ func (b *Blob) ReadList(version uint64, q extent.List) ([]byte, error) {
 		wg.Add(1)
 		go func(i int, f segtree.Fragment) {
 			defer wg.Done()
-			replicas := make([]provider.ID, len(f.Ref.Replicas))
-			for j, id := range f.Ref.Replicas {
-				replicas[j] = provider.ID(id)
+			replicas, ok := b.FreshHint(f.Ref.Key)
+			if !ok {
+				replicas = make([]provider.ID, len(f.Ref.Replicas))
+				for j, id := range f.Ref.Replicas {
+					replicas[j] = provider.ID(id)
+				}
 			}
-			d, err := b.svc.Data.GetFrom(replicas, f.Ref.Key, f.Ref.Offset, f.Ref.Length)
+			d, fresh, err := b.svc.Data.GetFrom(replicas, f.Ref.Key, f.Ref.Offset, f.Ref.Length)
 			if err != nil {
 				errs <- err
 				return
+			}
+			if fresh != nil {
+				b.cacheHint(f.Ref.Key, fresh)
 			}
 			data[i] = d
 		}(i, f)
@@ -349,6 +395,29 @@ func (b *Blob) Size(version uint64) (int64, error) {
 // Versions lists all published versions of the blob.
 func (b *Blob) Versions() ([]uint64, error) {
 	return b.svc.VM.Versions(b.id)
+}
+
+// ChunkRefs enumerates the chunk references a published snapshot is
+// assembled from, by resolving its metadata over the full snapshot
+// extent. The background scrubber walks these to verify that every
+// chunk a published version depends on still has its full replica set.
+func (b *Blob) ChunkRefs(version uint64) ([]chunk.Ref, error) {
+	info, err := b.svc.VM.Snapshot(b.id, version)
+	if err != nil {
+		return nil, err
+	}
+	if info.Size == 0 {
+		return nil, nil
+	}
+	frags, _, err := b.tree.Resolve(info.Root, extent.List{{Offset: 0, Length: info.Size}})
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]chunk.Ref, 0, len(frags))
+	for _, f := range frags {
+		refs = append(refs, f.Ref)
+	}
+	return refs, nil
 }
 
 // Diff returns the byte ranges whose contents may differ between two

@@ -1,0 +1,115 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/iosim"
+	"repro/internal/metadata"
+	"repro/internal/provider"
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+// recordingData wraps a DataService and records the replica hint each
+// GetFrom call carried, so tests can see which hint the blob used.
+type recordingData struct {
+	DataService
+	mu    sync.Mutex
+	hints [][]provider.ID
+}
+
+func (r *recordingData) GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, []provider.ID, error) {
+	r.mu.Lock()
+	r.hints = append(r.hints, append([]provider.ID(nil), replicas...))
+	r.mu.Unlock()
+	return r.DataService.GetFrom(replicas, key, off, length)
+}
+
+// TestStaleHintFallbackAndRefresh is the stale-hint window regression
+// test: after Repair moves a chunk's copies, metadata refs still point
+// at the old replica set forever (refs are immutable). A read through
+// the stale hint must succeed via the placement-map fallback, learn
+// the fresh replica set, and cache it so the NEXT read goes straight
+// to the live copies instead of re-walking the dead hint.
+func TestStaleHintFallbackAndRefresh(t *testing.T) {
+	mgr, _ := provider.NewPool(4, iosim.CostModel{})
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(2)
+	rec := &recordingData{DataService: router}
+	svc := Services{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: rec,
+	}
+	b, err := Create(svc, 1, segtree.Geometry{Capacity: 64 << 10, Page: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("stale-hint"), 100)
+	v, err := b.Write(0, payload, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The write produced one chunk on two providers; that set is baked
+	// into the metadata ref.
+	keys := router.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("expected 1 placed chunk, got %d", len(keys))
+	}
+	key := keys[0]
+	orig, _ := router.Locate(key)
+	if len(orig) != 2 {
+		t.Fatalf("replica set %v, want 2 copies", orig)
+	}
+
+	// Lose one holder, repair (copies move to a new provider), then
+	// lose the second original holder: every provider named by the
+	// metadata hint is now dead, but the data is alive elsewhere.
+	if err := mgr.SetDown(orig[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if st := router.Repair(); st.Repaired != st.Degraded || st.Lost > 0 {
+		t.Fatalf("repair: %+v", st)
+	}
+	if err := mgr.SetDown(orig[1], true); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := router.Locate(key)
+
+	// Read 1: stale hint -> placement fallback must serve it.
+	got, err := b.ReadAt(v, 0, int64(len(payload)))
+	if err != nil {
+		t.Fatalf("read via stale hint: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("stale-hint read returned wrong data")
+	}
+	// ... and the fresh set must now be cached on the blob handle.
+	cached, ok := b.FreshHint(key)
+	if !ok || fmt.Sprint(cached) != fmt.Sprint(fresh) {
+		t.Fatalf("cached hint = %v,%v, want %v", cached, ok, fresh)
+	}
+
+	// Read 2: must be served with the refreshed hint, not the stale
+	// metadata one.
+	if _, err := b.ReadAt(v, 0, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.hints) != 2 {
+		t.Fatalf("expected 2 GetFrom calls, saw %d", len(rec.hints))
+	}
+	staleHint, refreshedHint := rec.hints[0], rec.hints[1]
+	if fmt.Sprint(staleHint) != fmt.Sprint(orig) {
+		t.Fatalf("first read used hint %v, want the metadata (stale) set %v", staleHint, orig)
+	}
+	if fmt.Sprint(refreshedHint) != fmt.Sprint(fresh) {
+		t.Fatalf("second read used hint %v, want the refreshed set %v", refreshedHint, fresh)
+	}
+}

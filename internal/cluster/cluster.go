@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/blob"
+	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/iosim"
 	"repro/internal/lockfs"
@@ -42,6 +43,32 @@ type Env struct {
 	// commit. 0 selects the default of R-1 (minimum 1), which lets a
 	// write survive the mid-flight loss of one provider.
 	WriteQuorum int
+
+	// SelfHeal enables the autonomous repair loop: an error-driven
+	// provider HealthMonitor wired into the router plus a core.Healer
+	// (background scrubber + bounded read-repair queue). Off by
+	// default: deployments then behave exactly as before, with
+	// replication managed administratively (bsctl down/repair).
+	SelfHeal bool
+	// FailThreshold is the consecutive-error count that marks a
+	// provider down (SelfHeal; 0 = default 3).
+	FailThreshold int
+	// Probation is how long a detected-down provider sits out before
+	// health probes may revive it (SelfHeal; 0 = default 2s).
+	Probation time.Duration
+	// ScrubRate caps chunk replica verifications per healer tick
+	// (SelfHeal; 0 = default 64).
+	ScrubRate int
+	// RepairRate caps re-replications per healer tick (SelfHeal;
+	// 0 = default 4).
+	RepairRate int
+	// RepairQueue bounds the repair queue depth (SelfHeal; 0 = 256).
+	RepairQueue int
+	// FaultInjection wraps every provider's chunk store in a
+	// chunk.FaultStore (exposed as Versioning.Faults) so tests can
+	// kill a machine at the store level — the failure the health
+	// monitor must detect from errors alone.
+	FaultInjection bool
 
 	DataModel iosim.CostModel // per provider / OST
 	MetaModel iosim.CostModel // per metadata shard
@@ -91,12 +118,16 @@ func (e Env) Validate() error {
 }
 
 // Versioning is a full in-process deployment of the paper's storage
-// service.
+// service. Health and Healer are non-nil only when Env.SelfHeal is
+// set; Faults is non-nil only with Env.FaultInjection.
 type Versioning struct {
 	VM        *vmanager.Manager
 	Meta      *metadata.Store
 	Providers *provider.Manager
 	Router    *provider.Router
+	Health    *provider.HealthMonitor
+	Healer    *core.Healer
+	Faults    []*chunk.FaultStore
 	env       Env
 }
 
@@ -105,19 +136,40 @@ func NewVersioning(env Env) (*Versioning, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
-	mgr, _ := provider.NewPool(env.Providers, env.DataModel)
+	var mgr *provider.Manager
+	var faults []*chunk.FaultStore
+	if env.FaultInjection {
+		mgr, faults = provider.NewFaultPool(env.Providers, env.DataModel)
+	} else {
+		mgr, _ = provider.NewPool(env.Providers, env.DataModel)
+	}
 	vm := vmanager.New(env.CtrlModel)
 	vm.SetBatching(env.VMBatch)
 	router := provider.NewRouter(mgr)
 	router.SetReplicas(env.Replicas)
 	router.SetWriteQuorum(env.WriteQuorum)
-	return &Versioning{
+	v := &Versioning{
 		VM:        vm,
 		Meta:      metadata.NewStore(env.MetaShards, env.MetaModel),
 		Providers: mgr,
 		Router:    router,
+		Faults:    faults,
 		env:       env,
-	}, nil
+	}
+	if env.SelfHeal {
+		v.Health = provider.NewHealthMonitor(mgr, provider.HealthConfig{
+			Threshold: env.FailThreshold,
+			Probation: env.Probation,
+		})
+		router.SetHealthMonitor(v.Health)
+		v.Healer = core.NewHealer(router, v.Health, core.HealerConfig{
+			ScrubChunksPerTick: env.ScrubRate,
+			RepairsPerTick:     env.RepairRate,
+			QueueDepth:         env.RepairQueue,
+		})
+		router.SetDegradedHandler(v.Healer.EnqueueRepair)
+	}
+	return v, nil
 }
 
 // Services returns the client-facing service bundle.
@@ -127,9 +179,18 @@ func (v *Versioning) Services() blob.Services {
 
 // Backend creates a versioning backend over a new blob sized to cover
 // span bytes (rounded up to a power-of-two multiple of the chunk size).
+// With SelfHeal on, the new blob's published versions join the
+// healer's scrub walk.
 func (v *Versioning) Backend(blobID uint64, span int64) (*core.VersioningBackend, error) {
 	geo := segtree.Geometry{Capacity: CapacityFor(span, v.env.ChunkSize), Page: v.env.ChunkSize}
-	return core.NewVersioning(v.Services(), blobID, geo)
+	be, err := core.NewVersioning(v.Services(), blobID, geo)
+	if err != nil {
+		return nil, err
+	}
+	if v.Healer != nil {
+		v.Healer.RegisterBlob(be.Blob())
+	}
+	return be, nil
 }
 
 // Lustre is a deployment of the locking baseline.

@@ -1,0 +1,422 @@
+// Self-healing replication: the background control loop that turns the
+// failure signals the system already produces into automatic repair,
+// with no operator in the loop.
+//
+// Three feeds converge on one bounded repair queue:
+//
+//   - The Scrub walk: the healer iterates every published version of
+//     every registered blob (falling back to the router's placement map
+//     when it has no blob handles), verifying each referenced chunk's
+//     replica set with store probes. Probe errors feed the provider
+//     HealthMonitor, so scrub traffic itself trips failure detection.
+//   - Read-repair: a degraded read (failover was needed) or a write
+//     that quorum-committed short of R copies reports the exact chunk
+//     through the router's degraded handler.
+//   - Probation probes: each tick also advances the health monitor, so
+//     revived machines return to service.
+//
+// # Backpressure model
+//
+// Repair traffic must never starve foreground I/O, so every stage is
+// bounded and lossy-but-convergent:
+//
+//   - The queue holds at most QueueDepth distinct chunks. Enqueues of
+//     already-queued chunks are dropped as duplicates; enqueues into a
+//     full queue are dropped and counted (Dropped). Dropping is safe
+//     because the queue is an accelerator, not the source of truth:
+//     the scrub walk re-finds any still-degraded chunk on its next
+//     pass, so a dropped key is delayed, never lost.
+//   - Each tick verifies at most ScrubChunksPerTick chunk references
+//     and executes at most RepairsPerTick re-replications. Repair
+//     bandwidth (one full chunk read + missing copies written per
+//     repair) is therefore capped per tick, and foreground writes
+//     queued on the same provider meters see bounded added service
+//     time instead of a repair storm.
+//   - A failed repair is not retried in place: the chunk is dropped
+//     and picked up again by a later scrub pass, so a provider pool
+//     too small to restore R cannot spin the worker.
+//
+// Convergence: after a provider loss, every chunk that lost a copy is
+// found within one full scrub pass (pass length = total refs /
+// ScrubChunksPerTick ticks) and repaired within queue-drain time
+// (degraded chunks / RepairsPerTick ticks); read-repair short-circuits
+// the wait for whatever the foreground workload actually touches.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/blob"
+	"repro/internal/chunk"
+	"repro/internal/provider"
+)
+
+// HealRouter is the slice of the provider router the healer drives:
+// replica verification and single-chunk re-replication. Implemented by
+// *provider.Router.
+type HealRouter interface {
+	VerifyReplicas(key chunk.Key) (live, want int, known bool)
+	RepairChunk(key chunk.Key) (provider.RepairOutcome, int, error)
+	Keys() []chunk.Key
+	UnderReplicated() int
+}
+
+var _ HealRouter = (*provider.Router)(nil)
+
+// HealerConfig tunes the control loop. Zero fields select defaults.
+type HealerConfig struct {
+	// ScrubChunksPerTick caps replica verifications per tick (default 64).
+	ScrubChunksPerTick int
+	// RepairsPerTick caps re-replications per tick (default 4).
+	RepairsPerTick int
+	// QueueDepth bounds the repair queue (default 256 distinct chunks).
+	QueueDepth int
+	// Interval is the background loop period for Run (default 100ms).
+	Interval time.Duration
+}
+
+func (c HealerConfig) withDefaults() HealerConfig {
+	if c.ScrubChunksPerTick <= 0 {
+		c.ScrubChunksPerTick = 64
+	}
+	if c.RepairsPerTick <= 0 {
+		c.RepairsPerTick = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// HealerStats are cumulative control-loop counters.
+type HealerStats struct {
+	Ticks          int64 // control-loop iterations
+	ScrubPasses    int64 // completed walks over every published version
+	ScrubbedChunks int64 // replica sets verified
+	ScrubErrors    int64 // versions whose metadata could not be resolved
+	Enqueued       int64 // chunks accepted into the repair queue
+	Duplicates     int64 // enqueues dropped because already queued
+	Dropped        int64 // enqueues dropped because the queue was full
+	Repaired       int64 // chunks restored to full degree
+	RepairFailed   int64 // repair attempts that failed or stayed partial
+	RepairHealthy  int64 // queued chunks found already at full degree
+	Lost           int64 // chunks with no surviving replica
+	QueueLen       int   // current queue length
+}
+
+// scrubUnit is one pending unit of the current scrub pass: a published
+// version of a registered blob, or (blob == nil) the raw placement walk.
+type scrubUnit struct {
+	blob    *blob.Blob
+	version uint64
+}
+
+// Healer is the background self-healing loop: scrubber, repair queue
+// and repair worker in one tickable object. Drive it either with Run
+// (wall-clock background goroutine, blobseerd) or by calling Tick from
+// a virtual-time loop (tests, benchmarks).
+type Healer struct {
+	router HealRouter
+	health *provider.HealthMonitor // optional
+	cfg    HealerConfig
+
+	mu       sync.Mutex
+	queue    []chunk.Key
+	queued   map[chunk.Key]bool
+	targets  []*blob.Blob
+	pass     []scrubUnit          // remaining units of the current pass
+	refs     []chunk.Key          // refs of the unit being scrubbed
+	passSeen map[chunk.Key]string // dedup within one pass (key -> "")
+	stats    HealerStats
+
+	runMu sync.Mutex
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewHealer builds a healer over the given router. health may be nil
+// (no error-driven detection; scrubbing still works off down flags and
+// probes).
+func NewHealer(router HealRouter, health *provider.HealthMonitor, cfg HealerConfig) *Healer {
+	return &Healer{
+		router: router,
+		health: health,
+		cfg:    cfg.withDefaults(),
+		queued: make(map[chunk.Key]bool),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (h *Healer) Config() HealerConfig { return h.cfg }
+
+// RegisterBlob adds a blob whose published versions the scrub walk
+// covers. With no registered blobs the walk falls back to the router's
+// placement map (every chunk it knows), which is what a data-only
+// daemon uses.
+func (h *Healer) RegisterBlob(b *blob.Blob) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.targets = append(h.targets, b)
+}
+
+// EnqueueRepair adds one chunk to the bounded repair queue; it is the
+// router's degraded handler (read-repair) and the scrubber's sink.
+// Never blocks: duplicates and overflow are dropped (and counted) —
+// see the backpressure model above.
+func (h *Healer) EnqueueRepair(key chunk.Key) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.enqueueLocked(key)
+}
+
+func (h *Healer) enqueueLocked(key chunk.Key) {
+	if h.queued[key] {
+		h.stats.Duplicates++
+		return
+	}
+	if len(h.queue) >= h.cfg.QueueDepth {
+		h.stats.Dropped++
+		return
+	}
+	h.queued[key] = true
+	h.queue = append(h.queue, key)
+	h.stats.Enqueued++
+}
+
+// Tick runs one bounded control-loop iteration: advance health
+// probation probes, drain up to RepairsPerTick queued repairs, then
+// verify up to ScrubChunksPerTick chunk references of the scrub walk.
+func (h *Healer) Tick() {
+	h.mu.Lock()
+	h.stats.Ticks++
+	h.mu.Unlock()
+	if h.health != nil {
+		h.health.Tick()
+	}
+	h.drainRepairs()
+	h.scrubStep()
+}
+
+// drainRepairs executes up to RepairsPerTick queued re-replications.
+func (h *Healer) drainRepairs() {
+	for i := 0; i < h.cfg.RepairsPerTick; i++ {
+		h.mu.Lock()
+		if len(h.queue) == 0 {
+			h.mu.Unlock()
+			return
+		}
+		key := h.queue[0]
+		h.queue = h.queue[1:]
+		delete(h.queued, key)
+		h.mu.Unlock()
+
+		outcome, _, _ := h.router.RepairChunk(key)
+
+		h.mu.Lock()
+		switch outcome {
+		case provider.RepairRepaired:
+			h.stats.Repaired++
+		case provider.RepairHealthy:
+			h.stats.RepairHealthy++
+		case provider.RepairLost:
+			h.stats.Lost++
+		default:
+			// Partial/failed: do not requeue — the next scrub pass
+			// re-finds it, so a shrunken pool cannot spin the worker.
+			h.stats.RepairFailed++
+		}
+		h.mu.Unlock()
+	}
+}
+
+// scrubStep verifies up to ScrubChunksPerTick chunk refs, refilling the
+// pass work list as needed.
+func (h *Healer) scrubStep() {
+	budget := h.cfg.ScrubChunksPerTick
+	for budget > 0 {
+		key, ok := h.nextRef()
+		if !ok {
+			return // pass exhausted this tick; next tick starts a new one
+		}
+		budget--
+		live, want, known := h.router.VerifyReplicas(key)
+		h.mu.Lock()
+		h.stats.ScrubbedChunks++
+		if known && live < want {
+			h.enqueueLocked(key)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// nextRef pops the next chunk key of the scrub walk, resolving one
+// version's metadata at a time and deduplicating within the pass. ok is
+// false when the current pass just ended (the next call starts a new
+// pass — callers stop for this tick so pass boundaries are visible in
+// virtual time).
+func (h *Healer) nextRef() (chunk.Key, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if len(h.refs) > 0 {
+			key := h.refs[0]
+			h.refs = h.refs[1:]
+			return key, true
+		}
+		if len(h.pass) == 0 {
+			if h.passSeen != nil {
+				// A pass was in progress and is now complete.
+				h.stats.ScrubPasses++
+				h.passSeen = nil
+				return chunk.Key{}, false
+			}
+			h.startPassLocked()
+			if len(h.pass) == 0 && len(h.refs) == 0 {
+				// Nothing to scrub: an empty walk still counts as a
+				// completed pass, so Pass() terminates promptly on an
+				// empty deployment.
+				h.stats.ScrubPasses++
+				h.passSeen = nil
+				return chunk.Key{}, false
+			}
+			continue
+		}
+		unit := h.pass[0]
+		h.pass = h.pass[1:]
+		h.loadUnitLocked(unit)
+	}
+}
+
+// startPassLocked snapshots the work list for a new scrub pass.
+func (h *Healer) startPassLocked() {
+	h.passSeen = make(map[chunk.Key]string)
+	h.pass = h.pass[:0]
+	if len(h.targets) == 0 {
+		// Data-only deployment: walk the placement map directly.
+		h.refs = append(h.refs[:0], h.router.Keys()...)
+		return
+	}
+	for _, b := range h.targets {
+		versions, err := b.Versions()
+		if err != nil {
+			h.stats.ScrubErrors++
+			continue
+		}
+		for _, v := range versions {
+			h.pass = append(h.pass, scrubUnit{blob: b, version: v})
+		}
+	}
+}
+
+// loadUnitLocked resolves one version's chunk refs into the ref buffer,
+// skipping keys already verified this pass. Resolution drops the lock
+// (metadata I/O can be metered and slow), so the pass may have been
+// reset meanwhile (Pass() restarts the walk); the refs then belong to
+// an abandoned pass and are discarded.
+func (h *Healer) loadUnitLocked(unit scrubUnit) {
+	h.mu.Unlock()
+	refs, err := unit.blob.ChunkRefs(unit.version)
+	h.mu.Lock()
+	if err != nil {
+		h.stats.ScrubErrors++
+		return
+	}
+	if h.passSeen == nil {
+		return // pass was reset while unlocked
+	}
+	for _, ref := range refs {
+		if _, seen := h.passSeen[ref.Key]; seen {
+			continue
+		}
+		h.passSeen[ref.Key] = ""
+		h.refs = append(h.refs, ref.Key)
+	}
+}
+
+// Pass runs ticks until one full scrub pass completes AND the repair
+// queue is drained; it is the synchronous "scrub now" entry point
+// (bsctl scrub -sync). A chunk that cannot currently be repaired
+// (lost, or no spare provider) is re-found and re-enqueued by every
+// pass, so "queue drained" may be unreachable — after three full
+// passes Pass stops anyway and returns what it saw, leaving the
+// unrepairable remainder to the background loop. Returns the stats
+// snapshot afterward.
+func (h *Healer) Pass() HealerStats {
+	h.mu.Lock()
+	start := h.stats.ScrubPasses
+	// Restart cleanly so the pass covers everything from now.
+	h.pass = nil
+	h.refs = nil
+	h.passSeen = nil
+	h.mu.Unlock()
+	const maxIters = 100000
+	for i := 0; i < maxIters; i++ {
+		h.Tick()
+		h.mu.Lock()
+		passes := h.stats.ScrubPasses - start
+		done := (passes >= 1 && len(h.queue) == 0) || passes >= 3
+		h.mu.Unlock()
+		if done {
+			break
+		}
+	}
+	return h.Stats()
+}
+
+// Stats returns a snapshot of the control-loop counters.
+func (h *Healer) Stats() HealerStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stats
+	st.QueueLen = len(h.queue)
+	return st
+}
+
+// QueueLen returns the current repair-queue depth.
+func (h *Healer) QueueLen() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.queue)
+}
+
+// Run starts the background wall-clock loop, ticking every
+// cfg.Interval until Stop. Starting an already running healer is a
+// no-op.
+func (h *Healer) Run() {
+	h.runMu.Lock()
+	defer h.runMu.Unlock()
+	if h.stop != nil {
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(h.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				h.Tick()
+			}
+		}
+	}(h.stop, h.done)
+}
+
+// Stop halts the background loop and waits for it to exit.
+func (h *Healer) Stop() {
+	h.runMu.Lock()
+	defer h.runMu.Unlock()
+	if h.stop == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+	h.stop, h.done = nil, nil
+}

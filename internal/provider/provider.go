@@ -31,12 +31,15 @@ type ID int
 
 // Provider couples a chunk store with identity and accounting. The
 // meter, when present, lives inside the store (see chunk.NewMemStore),
-// so Provider itself only tracks allocation counts.
+// so Provider itself only tracks allocation counts. downEpoch counts
+// SetDown transitions so the health monitor can tell whether an
+// administrator touched the flag since the monitor last did.
 type Provider struct {
 	id        ID
 	store     chunk.Store
 	allocated atomic.Int64
 	down      atomic.Bool
+	downEpoch atomic.Int64
 }
 
 // New builds a provider around the given store.
@@ -170,6 +173,22 @@ func NewPool(n int, model iosim.CostModel) (*Manager, []*iosim.Meter) {
 	return m, meters
 }
 
+// NewFaultPool builds the same pool as NewPool with each provider's
+// store wrapped in a chunk.FaultStore, so callers can kill a machine
+// at the STORE level (every operation errors) — the failure that
+// error-driven detection must notice without an administrative
+// SetDown. Returns the manager and the fault stores by provider index.
+func NewFaultPool(n int, model iosim.CostModel) (*Manager, []*chunk.FaultStore) {
+	m := NewManager()
+	faults := make([]*chunk.FaultStore, 0, n)
+	for i := 0; i < n; i++ {
+		fs := chunk.NewFaultStore(chunk.NewMemStore(iosim.NewMeter(model, true)))
+		faults = append(faults, fs)
+		m.Register(New(ID(i), fs))
+	}
+	return m, faults
+}
+
 // Register adds a provider to the pool.
 func (m *Manager) Register(p *Provider) {
 	m.mu.Lock()
@@ -201,12 +220,44 @@ func (m *Manager) Live() int {
 // A down provider receives no new allocations, is skipped by read
 // failover, and counts as lost for Repair.
 func (m *Manager) SetDown(id ID, down bool) error {
+	_, err := m.setDown(id, down)
+	return err
+}
+
+// setDown flips the down flag and returns the new transition epoch —
+// the token the health monitor uses to detect administrative
+// intervention between its own transitions.
+func (m *Manager) setDown(id ID, down bool) (int64, error) {
 	p := m.byID(id)
 	if p == nil {
-		return fmt.Errorf("provider: unknown provider %d", id)
+		return 0, fmt.Errorf("provider: unknown provider %d", id)
 	}
 	p.down.Store(down)
-	return nil
+	return p.downEpoch.Add(1), nil
+}
+
+// claimDown atomically flips a currently-live provider down and
+// returns the new epoch. ok is false when the provider was already
+// down — someone else (an administrator, or an earlier transition)
+// owns the flag and the caller must not claim it.
+func (m *Manager) claimDown(id ID) (epoch int64, ok bool, err error) {
+	p := m.byID(id)
+	if p == nil {
+		return 0, false, fmt.Errorf("provider: unknown provider %d", id)
+	}
+	if !p.down.CompareAndSwap(false, true) {
+		return 0, false, nil
+	}
+	return p.downEpoch.Add(1), true, nil
+}
+
+// downEpochOf returns the current transition epoch of id's down flag
+// (0 for unknown providers).
+func (m *Manager) downEpochOf(id ID) int64 {
+	if p := m.byID(id); p != nil {
+		return p.downEpoch.Load()
+	}
+	return 0
 }
 
 // byID returns the provider with the given ID, or nil.
@@ -359,16 +410,68 @@ type placement struct {
 type Router struct {
 	*Manager
 	place    placement
-	cfg      sync.RWMutex // guards replicas/quorum
+	cfg      sync.RWMutex // guards replicas/quorum/health/onDegraded
 	replicas int          // copies per chunk; 0 or 1 means no replication
 	quorum   int          // copies that must land for Put to succeed; 0 = replicas-1 (min 1)
 	rdNext   atomic.Uint64
+
+	// health, when set, receives the outcome of every replica store
+	// attempt — the error stream failure detection is deduced from.
+	health *HealthMonitor
+	// onDegraded, when set, is told about chunks observed below the
+	// replication degree (a read failed over, or a Put quorum-committed
+	// short of R copies). The core Healer wires its repair queue here —
+	// the read-repair path. Must be cheap and non-blocking.
+	onDegraded func(chunk.Key)
 }
 
 // NewRouter wraps a manager with a placement map. The zero
 // configuration stores one copy per chunk (no replication).
 func NewRouter(m *Manager) *Router {
 	return &Router{Manager: m, place: placement{m: make(map[chunk.Key][]ID)}}
+}
+
+// SetHealthMonitor wires a monitor into the router's data path: every
+// replica store attempt (Put, Get, repair copy, verification probe)
+// reports its outcome, so down-ness is deduced from observed errors
+// instead of administrative SetDown.
+func (r *Router) SetHealthMonitor(h *HealthMonitor) {
+	r.cfg.Lock()
+	defer r.cfg.Unlock()
+	r.health = h
+}
+
+// Health returns the wired monitor (nil when health detection is off).
+func (r *Router) Health() *HealthMonitor {
+	r.cfg.RLock()
+	defer r.cfg.RUnlock()
+	return r.health
+}
+
+// SetDegradedHandler registers the callback invoked with the key of any
+// chunk the data path observed under-replicated. The handler must not
+// block (the core Healer's bounded repair queue drops when full).
+func (r *Router) SetDegradedHandler(fn func(chunk.Key)) {
+	r.cfg.Lock()
+	defer r.cfg.Unlock()
+	r.onDegraded = fn
+}
+
+// reportError feeds one replica-store outcome to the health monitor.
+func (r *Router) reportError(id ID, err error) {
+	if h := r.Health(); h != nil {
+		h.ReportError(id, err)
+	}
+}
+
+// noteDegraded reports an under-replicated chunk to the repair hook.
+func (r *Router) noteDegraded(key chunk.Key) {
+	r.cfg.RLock()
+	fn := r.onDegraded
+	r.cfg.RUnlock()
+	if fn != nil {
+		fn(key)
+	}
 }
 
 // SetReplicas sets the replication degree R: every subsequent Put
@@ -472,22 +575,32 @@ func (r *Router) Put(key chunk.Key, data []byte) ([]ID, error) {
 	r.place.mu.Lock()
 	r.place.m[key] = stored
 	r.place.mu.Unlock()
+	if len(stored) < want {
+		// Quorum-committed short of R copies: born under-replicated
+		// (a provider died mid-flight). Hand it to read-repair now
+		// rather than waiting for the scrubber to find it.
+		r.noteDegraded(key)
+	}
 	return stored, nil
 }
 
 // putOne stores one copy, treating a down provider as a failed store
-// (the machine died between allocation and the write reaching it).
+// (the machine died between allocation and the write reaching it). The
+// outcome of every real store attempt feeds the health monitor.
 func (r *Router) putOne(p *Provider, key chunk.Key, data []byte) error {
 	if p.Down() {
 		return ErrProviderDown
 	}
-	return p.Store().Put(key, data)
+	err := p.Store().Put(key, data)
+	r.reportError(p.ID(), err)
+	return err
 }
 
 // Get reads a chunk sub-range by consulting the placement map, failing
 // over across replicas: down providers are skipped, and an error from
 // one replica moves on to the next. Reads rotate across the replica
-// set so replicated read load spreads over all copies.
+// set so replicated read load spreads over all copies. A read that
+// needed failover feeds read-repair via maybeNoteDegraded.
 func (r *Router) Get(key chunk.Key, off, length int64) ([]byte, error) {
 	r.place.mu.RLock()
 	ids, ok := r.place.m[key]
@@ -495,27 +608,50 @@ func (r *Router) Get(key chunk.Key, off, length int64) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", chunk.ErrNotFound, key)
 	}
-	return r.getFromSet(ids, key, off, length)
+	data, skips, storeErrs, err := r.getFromSet(ids, key, off, length)
+	if err == nil && skips+storeErrs > 0 {
+		r.maybeNoteDegraded(key, storeErrs)
+	}
+	return data, err
 }
 
 // GetFrom reads like Get but tries the given replica set first — the
 // replica hint carried by chunk.Ref in metadata. If every hinted
 // replica fails (stale hint after a repair moved the copies), it falls
-// back to the router's own placement map.
-func (r *Router) GetFrom(replicas []ID, key chunk.Key, off, length int64) ([]byte, error) {
+// back to the router's own placement map. A non-nil fresh return means
+// the hint is out of date — either the fallback served the read, or
+// the hint needed failover and placement records a different set — and
+// the caller should replace it (blob caches it so later reads of the
+// same chunk skip the dead copies).
+func (r *Router) GetFrom(replicas []ID, key chunk.Key, off, length int64) (data []byte, fresh []ID, err error) {
 	if len(replicas) > 0 {
-		if data, err := r.getFromSet(replicas, key, off, length); err == nil {
-			return data, nil
+		data, skips, storeErrs, err := r.getFromSet(replicas, key, off, length)
+		if err == nil {
+			if skips+storeErrs > 0 {
+				r.maybeNoteDegraded(key, storeErrs)
+				if fresh, ok := r.Locate(key); ok && !sameIDSet(fresh, replicas) {
+					return data, fresh, nil
+				}
+			}
+			return data, nil, nil
 		}
 	}
-	return r.Get(key, off, length)
+	data, err = r.Get(key, off, length)
+	if err != nil {
+		return nil, nil, err
+	}
+	fresh, _ = r.Locate(key)
+	return data, fresh, nil
 }
 
 // getFromSet tries each replica in rotated order and returns the first
-// successful read.
-func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) ([]byte, error) {
+// successful read, along with failover accounting: skips counts
+// replicas bypassed on flags (down or unknown), storeErrs counts real
+// store errors observed before the success. Every real store attempt
+// reports its outcome to the health monitor.
+func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) (data []byte, skips, storeErrs int, err error) {
 	if len(ids) == 0 {
-		return nil, fmt.Errorf("%w: %s (empty replica set)", chunk.ErrNotFound, key)
+		return nil, 0, 0, fmt.Errorf("%w: %s (empty replica set)", chunk.ErrNotFound, key)
 	}
 	start := r.rdNext.Add(1) - 1
 	var lastErr error
@@ -524,19 +660,60 @@ func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) ([]byte,
 		p := r.byID(id)
 		if p == nil {
 			lastErr = fmt.Errorf("provider: placement references unknown provider %d", id)
+			skips++
 			continue
 		}
 		if p.Down() {
 			lastErr = fmt.Errorf("provider %d: %w", id, ErrProviderDown)
+			skips++
 			continue
 		}
 		data, err := p.Store().Get(key, off, length)
+		r.reportError(id, err)
 		if err == nil {
-			return data, nil
+			return data, skips, storeErrs, nil
 		}
+		storeErrs++
 		lastErr = fmt.Errorf("provider %d: %w", id, err)
 	}
-	return nil, fmt.Errorf("provider: all %d replicas of %s failed: %w", len(ids), key, lastErr)
+	return nil, skips, storeErrs, fmt.Errorf("provider: all %d replicas of %s failed: %w", len(ids), key, lastErr)
+}
+
+// maybeNoteDegraded decides whether a read that needed failover should
+// feed the repair queue. A real store error is a strong signal (the
+// copy is gone or the machine is dying). A flag-only skip is not by
+// itself: a permanently stale metadata hint skips the same long-dead
+// provider on every read even after repair restored the chunk, and
+// those enqueues would crowd genuinely degraded chunks out of the
+// bounded queue — so flag skips enqueue only when placement agrees the
+// chunk is below degree.
+func (r *Router) maybeNoteDegraded(key chunk.Key, storeErrs int) {
+	if storeErrs > 0 {
+		r.noteDegraded(key)
+		return
+	}
+	if live, want, known := r.ReplicaHealth(key); known && live < want {
+		r.noteDegraded(key)
+	}
+}
+
+// sameIDSet reports whether two replica sets name the same providers,
+// ignoring order.
+func sameIDSet(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[ID]int, len(a))
+	for _, id := range a {
+		seen[id]++
+	}
+	for _, id := range b {
+		if seen[id] == 0 {
+			return false
+		}
+		seen[id]--
+	}
+	return true
 }
 
 // Locate returns the replica set recorded for the key.
@@ -562,56 +739,185 @@ type RepairStats struct {
 	Failed   int // chunks whose repair attempt failed
 }
 
-// Repair is the re-replication pass: it scans the placement map for
-// chunks whose live replica count dropped below the replication degree
-// (a provider died), copies them from a surviving replica onto new
-// distinct providers, and updates placement. Chunks with no surviving
-// replica are counted as Lost — with R >= 2 that requires losing
-// multiple machines between repairs. Safe to run while writes proceed;
-// each chunk is repaired independently.
-func (r *Router) Repair() RepairStats {
-	want := r.Replicas()
+// Keys returns a snapshot of every chunk key the placement map knows.
+// The daemon-side scrubber walks this when it has no blob handles to
+// enumerate published versions with.
+func (r *Router) Keys() []chunk.Key {
 	r.place.mu.RLock()
+	defer r.place.mu.RUnlock()
 	keys := make([]chunk.Key, 0, len(r.place.m))
 	for k := range r.place.m {
 		keys = append(keys, k)
 	}
-	r.place.mu.RUnlock()
+	return keys
+}
 
-	var st RepairStats
-	for _, key := range keys {
-		st.Scanned++
-		r.place.mu.RLock()
-		ids := r.place.m[key]
-		r.place.mu.RUnlock()
-		live := make([]ID, 0, len(ids))
-		for _, id := range ids {
-			if p := r.byID(id); p != nil && !p.Down() {
-				live = append(live, id)
+// liveReplicas splits a chunk's recorded replica set into verified-live
+// and dead members. A replica is live when its provider is known, not
+// flagged down, and — when verify is set — its store answers a Len
+// probe for the chunk. Verification is what lets the scrubber and the
+// repair path detect a dead machine BEFORE the health monitor has
+// flagged it. With report set, probe outcomes feed the monitor (so
+// scrub traffic itself trips detection); passive observers like
+// UnderReplicated probe silently to avoid acting as detectors.
+func (r *Router) liveReplicas(key chunk.Key, ids []ID, verify, report bool) (live []ID) {
+	for _, id := range ids {
+		p := r.byID(id)
+		if p == nil || p.Down() {
+			continue
+		}
+		if verify {
+			_, err := p.Store().Len(key)
+			if report {
+				r.reportError(id, err)
+			}
+			if err != nil {
+				continue
 			}
 		}
-		if len(live) == len(ids) && len(live) >= want {
+		live = append(live, id)
+	}
+	return live
+}
+
+// ReplicaHealth reports how many of a chunk's recorded replicas are
+// live (by down flags alone) against the configured degree.
+func (r *Router) ReplicaHealth(key chunk.Key) (live, want int, known bool) {
+	ids, ok := r.Locate(key)
+	if !ok {
+		return 0, r.Replicas(), false
+	}
+	return len(r.liveReplicas(key, ids, false, false)), r.Replicas(), true
+}
+
+// VerifyReplicas is the scrubber's per-chunk check: it probes every
+// recorded replica's store (reporting outcomes to the health monitor)
+// and returns the verified-live count against the replication degree.
+func (r *Router) VerifyReplicas(key chunk.Key) (live, want int, known bool) {
+	ids, ok := r.Locate(key)
+	if !ok {
+		return 0, r.Replicas(), false
+	}
+	return len(r.liveReplicas(key, ids, true, true)), r.Replicas(), true
+}
+
+// UnderReplicated counts placement entries whose verified-live replica
+// count is below the replication degree — the healer's convergence
+// metric: zero means every known chunk is back at full degree. It is
+// a passive observer: its probes do NOT feed the health monitor, so
+// asserting convergence never doubles as failure detection.
+func (r *Router) UnderReplicated() int {
+	want := r.Replicas()
+	n := 0
+	for _, key := range r.Keys() {
+		ids, ok := r.Locate(key)
+		if !ok {
 			continue
 		}
-		st.Degraded++
-		if len(live) == 0 {
-			st.Lost++
-			continue
+		if len(r.liveReplicas(key, ids, true, false)) < want {
+			n++
 		}
-		newIDs, err := r.rereplicate(key, live, want)
-		if err != nil {
-			st.Failed++
-			continue
-		}
-		st.Copied += len(newIDs) - len(live)
-		if len(newIDs) >= want {
+	}
+	return n
+}
+
+// RepairOutcome classifies one RepairChunk attempt.
+type RepairOutcome int
+
+// Repair outcomes.
+const (
+	// RepairHealthy: the chunk already had R verified-live copies.
+	RepairHealthy RepairOutcome = iota
+	// RepairRepaired: new copies restored the chunk to full degree.
+	RepairRepaired
+	// RepairPartial: some copies were written but the chunk is still
+	// below degree (allocation or store failures); the scrubber will
+	// re-find it next pass.
+	RepairPartial
+	// RepairLost: no verified-live replica survives — the data is gone.
+	RepairLost
+)
+
+func (o RepairOutcome) String() string {
+	switch o {
+	case RepairHealthy:
+		return "healthy"
+	case RepairRepaired:
+		return "repaired"
+	case RepairPartial:
+		return "partial"
+	case RepairLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// RepairChunk re-replicates one chunk: it verifies which recorded
+// replicas still hold the data (probing stores, so flag-lagging dead
+// machines are caught), copies from a survivor onto enough new distinct
+// providers to restore the replication degree, and updates placement.
+// copied reports how many new copies were written. Unknown keys return
+// RepairHealthy (nothing recorded to restore).
+func (r *Router) RepairChunk(key chunk.Key) (outcome RepairOutcome, copied int, err error) {
+	want := r.Replicas()
+	ids, ok := r.Locate(key)
+	if !ok {
+		return RepairHealthy, 0, nil
+	}
+	live := r.liveReplicas(key, ids, true, true)
+	if len(live) == len(ids) && len(live) >= want {
+		return RepairHealthy, 0, nil
+	}
+	if len(live) == 0 {
+		return RepairLost, 0, fmt.Errorf("provider: chunk %s has no surviving replica", key)
+	}
+	newIDs, rerr := r.rereplicate(key, live, want)
+	if rerr != nil {
+		return RepairPartial, 0, rerr
+	}
+	copied = len(newIDs) - len(live)
+	r.place.mu.Lock()
+	r.place.m[key] = newIDs
+	r.place.mu.Unlock()
+	if len(newIDs) >= want {
+		return RepairRepaired, copied, nil
+	}
+	return RepairPartial, copied, nil
+}
+
+// Repair is the full re-replication pass: it scans the placement map
+// for chunks whose live replica count dropped below the replication
+// degree (a provider died), copies them from a surviving replica onto
+// new distinct providers, and updates placement. Chunks with no
+// surviving replica are counted as Lost — with R >= 2 that requires
+// losing multiple machines between repairs. Safe to run while writes
+// proceed; each chunk is repaired independently. The background healer
+// (core.Healer) runs the same repair chunk-by-chunk, rate limited.
+func (r *Router) Repair() RepairStats {
+	var st RepairStats
+	for _, key := range r.Keys() {
+		st.Scanned++
+		// RepairChunk verifies replicas itself (store probes, so a
+		// store-dead but flag-live replica — machine died, detector
+		// not yet tripped — still counts as degraded and a manual
+		// `bsctl repair` heals it without waiting on the monitor), so
+		// the outcome doubles as the degradation classification.
+		outcome, copied, _ := r.RepairChunk(key)
+		st.Copied += copied
+		switch outcome {
+		case RepairHealthy:
+			// At full degree; not degraded.
+		case RepairRepaired:
+			st.Degraded++
 			st.Repaired++
-		} else {
+		case RepairLost:
+			st.Degraded++
+			st.Lost++
+		default:
+			st.Degraded++
 			st.Failed++
 		}
-		r.place.mu.Lock()
-		r.place.m[key] = newIDs
-		r.place.mu.Unlock()
 	}
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/iosim"
@@ -298,10 +299,14 @@ func TestRouterFailoverRead(t *testing.T) {
 			t.Fatalf("degraded Get = %q, %v", data, err)
 		}
 	}
-	// GetFrom with the write-time hint works the same way.
-	data, err := r.GetFrom(ids, key, 0, 8)
+	// GetFrom with the write-time hint works the same way; the hint is
+	// still the recorded set, so no fresh hint is returned.
+	data, fresh, err := r.GetFrom(ids, key, 0, 8)
 	if err != nil || string(data) != "survives" {
 		t.Fatalf("degraded GetFrom = %q, %v", data, err)
+	}
+	if fresh != nil {
+		t.Fatalf("hint served the read but GetFrom returned fresh set %v", fresh)
 	}
 	// Kill the second replica too: the read must now fail.
 	if err := m.SetDown(ids[1], true); err != nil {
@@ -321,9 +326,13 @@ func TestRouterGetFromStaleHint(t *testing.T) {
 	if _, err := r.Put(key, []byte("real")); err != nil {
 		t.Fatal(err)
 	}
-	data, err := r.GetFrom([]ID{77, 78}, key, 0, 4)
+	data, fresh, err := r.GetFrom([]ID{77, 78}, key, 0, 4)
 	if err != nil || string(data) != "real" {
 		t.Fatalf("stale-hint GetFrom = %q, %v", data, err)
+	}
+	want, _ := r.Locate(key)
+	if fmt.Sprintf("%v", fresh) != fmt.Sprintf("%v", want) {
+		t.Fatalf("stale-hint GetFrom returned fresh %v, want placement %v", fresh, want)
 	}
 }
 
@@ -516,5 +525,274 @@ func TestLeastLoadedBalances(t *testing.T) {
 	if m.Providers()[1].Allocated() < 20 || m.Providers()[2].Allocated() < 20 {
 		t.Fatalf("least-loaded imbalance: %d / %d",
 			m.Providers()[1].Allocated(), m.Providers()[2].Allocated())
+	}
+}
+
+// faultPool is NewFaultPool unmetered, for brevity.
+func faultPool(n int) (*Manager, []*chunk.FaultStore) {
+	return NewFaultPool(n, iosim.CostModel{})
+}
+
+// TestRouterReadRepairSignals: a degraded read (failover needed) and a
+// quorum-committed short write must both report the exact chunk to the
+// degraded handler — the feed of the read-repair queue.
+func TestRouterReadRepairSignals(t *testing.T) {
+	m, faults := faultPool(3)
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	var mu sync.Mutex
+	var degraded []chunk.Key
+	r.SetDegradedHandler(func(key chunk.Key) {
+		mu.Lock()
+		degraded = append(degraded, key)
+		mu.Unlock()
+	})
+
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("heal me"))
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("Put = %v, %v", ids, err)
+	}
+	mu.Lock()
+	if len(degraded) != 0 {
+		t.Fatalf("healthy Put reported degraded chunks: %v", degraded)
+	}
+	mu.Unlock()
+
+	// Kill one holder's STORE (no flags): reads must fail over and
+	// report the chunk, every time.
+	faults[ids[0]].SetDown(true)
+	for i := 0; i < 4; i++ {
+		if _, err := r.Get(key, 0, 7); err != nil {
+			t.Fatalf("degraded Get: %v", err)
+		}
+	}
+	mu.Lock()
+	n := len(degraded)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("degraded reads never reported the chunk for read-repair")
+	}
+
+	// A write whose quorum commits short of R also self-reports.
+	mu.Lock()
+	degraded = degraded[:0]
+	mu.Unlock()
+	key2 := chunk.Key{Blob: 1, Version: 2, Index: 0}
+	for i := 0; i < 3; i++ { // round-robin: some allocation hits the dead store
+		key2.Index = uint32(i)
+		if _, err := r.Put(key2, []byte("short")); err != nil {
+			t.Fatalf("Put with one dead store: %v", err)
+		}
+	}
+	mu.Lock()
+	n = len(degraded)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("under-replicated Put never reported itself")
+	}
+}
+
+// TestVerifyReplicasProbesStores: VerifyReplicas must catch a replica
+// whose provider is flag-live but store-dead — the detection gap
+// between a machine dying and the monitor noticing.
+func TestVerifyReplicasProbesStores(t *testing.T) {
+	m, faults := faultPool(3)
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live, want, known := r.VerifyReplicas(key); !known || live != 2 || want != 2 {
+		t.Fatalf("healthy VerifyReplicas = %d/%d/%v", live, want, known)
+	}
+	faults[ids[1]].SetDown(true)
+	if live, _, _ := r.VerifyReplicas(key); live != 1 {
+		t.Fatalf("VerifyReplicas after store kill = %d live, want 1", live)
+	}
+	// Flag-based health still believes the replica is fine.
+	if live, _, _ := r.ReplicaHealth(key); live != 2 {
+		t.Fatalf("ReplicaHealth (flags only) = %d live, want 2", live)
+	}
+	if n := r.UnderReplicated(); n != 1 {
+		t.Fatalf("UnderReplicated = %d, want 1", n)
+	}
+}
+
+// TestRepairChunk: single-chunk repair restores degree, moves
+// placement off the dead store, and reports healthy/lost outcomes.
+func TestRepairChunk(t *testing.T) {
+	m, faults := faultPool(4)
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	key := chunk.Key{Blob: 9, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("fix me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome, copied, err := r.RepairChunk(key); outcome != RepairHealthy || copied != 0 || err != nil {
+		t.Fatalf("healthy RepairChunk = %v/%d/%v", outcome, copied, err)
+	}
+	faults[ids[0]].SetDown(true)
+	outcome, copied, err := r.RepairChunk(key)
+	if outcome != RepairRepaired || copied != 1 || err != nil {
+		t.Fatalf("RepairChunk = %v/%d/%v, want repaired/1/nil", outcome, copied, err)
+	}
+	now, _ := r.Locate(key)
+	for _, id := range now {
+		if id == ids[0] {
+			t.Fatalf("placement %v still references the dead store %d", now, ids[0])
+		}
+	}
+	if data, err := r.Get(key, 0, 6); err != nil || string(data) != "fix me" {
+		t.Fatalf("post-repair Get = %q, %v", data, err)
+	}
+	// Lose every copy: the outcome must be Lost, not a silent success.
+	for _, fs := range faults {
+		fs.SetDown(true)
+	}
+	if outcome, _, err := r.RepairChunk(key); outcome != RepairLost || err == nil {
+		t.Fatalf("all-dead RepairChunk = %v/%v, want lost/error", outcome, err)
+	}
+	if outcome, _, err := r.RepairChunk(chunk.Key{Blob: 404}); outcome != RepairHealthy || err != nil {
+		t.Fatalf("unknown-key RepairChunk = %v/%v", outcome, err)
+	}
+}
+
+// TestGetFromRefreshesPartiallyStaleHint: a hint that still WORKS (one
+// listed replica serves the read) but names a dead provider must be
+// refreshed from placement when placement disagrees — otherwise every
+// future read walks the half-dead hint forever.
+func TestGetFromRefreshesPartiallyStaleHint(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("refresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDown(ids[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Repair(); st.Repaired != 1 {
+		t.Fatalf("repair: %+v", st)
+	}
+	fresh, _ := r.Locate(key)
+	// The stale hint [dead, live]: reads succeed via the survivor but
+	// must hand back the repaired placement set.
+	var got []ID
+	for i := 0; i < 4 && got == nil; i++ { // rotation: some reads start at the live copy
+		data, f, err := r.GetFrom(ids, key, 0, 7)
+		if err != nil || string(data) != "refresh" {
+			t.Fatalf("GetFrom = %q, %v", data, err)
+		}
+		if f != nil {
+			got = f
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(fresh) {
+		t.Fatalf("refreshed hint = %v, want placement %v", got, fresh)
+	}
+}
+
+// TestStaleHintDoesNotSpamRepairQueue: reads through a stale hint that
+// skips a long-dead provider must NOT enqueue the chunk once placement
+// says it is back at full degree — healthy chunks would crowd real
+// work out of the bounded queue.
+func TestStaleHintDoesNotSpamRepairQueue(t *testing.T) {
+	m, _ := NewPool(4, iosim.CostModel{})
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	var mu sync.Mutex
+	enqueued := 0
+	r.SetDegradedHandler(func(chunk.Key) { mu.Lock(); enqueued++; mu.Unlock() })
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("quiet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDown(ids[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Repair(); st.Repaired != 1 {
+		t.Fatalf("repair: %+v", st)
+	}
+	mu.Lock()
+	enqueued = 0 // the degraded window before repair may legitimately enqueue
+	mu.Unlock()
+	for i := 0; i < 8; i++ {
+		if _, _, err := r.GetFrom(ids, key, 0, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if enqueued != 0 {
+		t.Fatalf("stale-hint reads of a fully replicated chunk enqueued %d repairs", enqueued)
+	}
+}
+
+// TestRepairCatchesStoreDeadReplica: a full Repair() pass must heal a
+// replica whose provider is flag-live but store-dead — manual repair
+// cannot depend on the failure detector having tripped first.
+func TestRepairCatchesStoreDeadReplica(t *testing.T) {
+	m, faults := faultPool(4)
+	r := NewRouter(m)
+	r.SetReplicas(2)
+	key := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	ids, err := r.Put(key, []byte("flag-live"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults[ids[0]].SetDown(true) // store dies; flags say nothing
+	st := r.Repair()
+	if st.Degraded != 1 || st.Repaired != 1 || st.Lost != 0 {
+		t.Fatalf("flag-blind repair pass: %+v", st)
+	}
+	if live, _, _ := r.VerifyReplicas(key); live != 2 {
+		t.Fatalf("chunk still at %d verified copies after repair", live)
+	}
+}
+
+// TestHealthAdminOverrideNotRevived: if an operator downs a provider
+// WHILE the monitor also has it down, probation probes must not revive
+// it — the operator's decision wins until the operator reverses it.
+func TestHealthAdminOverrideNotRevived(t *testing.T) {
+	cfg := HealthConfig{Threshold: 1, Probation: time.Second, ProbeSuccesses: 1}
+	rig := newHealthRig(t, 1, cfg)
+	rig.probeOK[0] = true // store would answer probes
+	rig.h.ReportFailure(0)
+	if rig.h.State(0) != Down {
+		t.Fatal("monitor did not mark down")
+	}
+	// Operator drains the machine deliberately (epoch moves).
+	if err := rig.m.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		rig.advance(time.Minute)
+		rig.h.Tick()
+	}
+	if !rig.m.Providers()[0].Down() {
+		t.Fatal("probation probes revived an operator-downed provider")
+	}
+	// And the reverse: operator revives while the monitor holds it
+	// down — the monitor cedes instead of fighting the flag.
+	rig2 := newHealthRig(t, 1, cfg)
+	rig2.probeOK[0] = true
+	rig2.h.ReportFailure(0)
+	if err := rig2.m.SetDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	rig2.advance(time.Minute)
+	rig2.h.Tick()
+	if rig2.m.Providers()[0].Down() {
+		t.Fatal("monitor re-downed an operator-revived provider")
+	}
+	if st := rig2.h.State(0); st != Live {
+		t.Fatalf("monitor state after ceding = %s, want live", st)
 	}
 }

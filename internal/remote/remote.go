@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
+	"repro/internal/core"
 	"repro/internal/extent"
 	"repro/internal/metadata"
 	"repro/internal/provider"
@@ -188,9 +189,12 @@ func (s *MetaServer) TryGetNode(a *NodeArgs, reply *NodeReply) error {
 
 // --- Data service ---
 
-// DataServer exposes a provider.Router over RPC.
+// DataServer exposes a provider.Router over RPC, plus — when the node
+// runs the self-healing loop — its health monitor and healer.
 type DataServer struct {
 	R *provider.Router
+	H *provider.HealthMonitor // nil unless self-heal enabled
+	E *core.Healer            // nil unless self-heal enabled
 }
 
 // PutChunkArgs stores one chunk.
@@ -219,19 +223,28 @@ type GetChunkArgs struct {
 	Replicas    []provider.ID
 }
 
+// GetChunkReply carries the data plus, when the caller's replica hint
+// was stale, the current replica set so the client can cache it.
+type GetChunkReply struct {
+	Data  []byte
+	Fresh []provider.ID
+}
+
 // GetChunk RPC.
-func (s *DataServer) GetChunk(a *GetChunkArgs, reply *[]byte) error {
-	var data []byte
-	var err error
+func (s *DataServer) GetChunk(a *GetChunkArgs, reply *GetChunkReply) error {
 	if len(a.Replicas) > 0 {
-		data, err = s.R.GetFrom(a.Replicas, a.Key, a.Off, a.Length)
-	} else {
-		data, err = s.R.Get(a.Key, a.Off, a.Length)
+		data, fresh, err := s.R.GetFrom(a.Replicas, a.Key, a.Off, a.Length)
+		if err != nil {
+			return err
+		}
+		reply.Data, reply.Fresh = data, fresh
+		return nil
 	}
+	data, err := s.R.Get(a.Key, a.Off, a.Length)
 	if err != nil {
 		return err
 	}
-	*reply = data
+	reply.Data = data
 	return nil
 }
 
@@ -257,13 +270,52 @@ func (s *DataServer) SetProviderDown(a *SetDownArgs, _ *struct{}) error {
 	return s.R.SetDown(a.Provider, a.Down)
 }
 
+// HealthArgs selects the health snapshot.
+type HealthArgs struct{}
+
+// Health RPC: the per-provider health states of the error-driven
+// failure detector (bsctl health). Fails when the node does not run
+// the self-healing loop.
+func (s *DataServer) Health(_ *HealthArgs, reply *[]provider.HealthStatus) error {
+	if s.H == nil {
+		return errors.New("remote: self-heal not enabled on this node (blobseerd -self-heal)")
+	}
+	*reply = s.H.Snapshot()
+	return nil
+}
+
+// ScrubArgs selects the scrub operation.
+type ScrubArgs struct {
+	// Sync, when set, runs a full scrub pass (and drains the repair
+	// queue) before replying; otherwise the current counters return.
+	Sync bool
+}
+
+// Scrub RPC: background-healer statistics, optionally after forcing a
+// full synchronous scrub+repair pass (bsctl scrub [-sync]). Fails when
+// the node does not run the self-healing loop.
+func (s *DataServer) Scrub(a *ScrubArgs, reply *core.HealerStats) error {
+	if s.E == nil {
+		return errors.New("remote: self-heal not enabled on this node (blobseerd -self-heal)")
+	}
+	if a.Sync {
+		*reply = s.E.Pass()
+	} else {
+		*reply = s.E.Stats()
+	}
+	return nil
+}
+
 // --- Node (server process) ---
 
-// Roles selects which services a node hosts.
+// Roles selects which services a node hosts. Health and Healer ride
+// along with the data role when the node runs the self-healing loop.
 type Roles struct {
-	VM   *vmanager.Manager
-	Meta *metadata.Store
-	Data *provider.Router
+	VM     *vmanager.Manager
+	Meta   *metadata.Store
+	Data   *provider.Router
+	Health *provider.HealthMonitor
+	Healer *core.Healer
 }
 
 // Node is one running storage-service process.
@@ -289,7 +341,7 @@ func Listen(addr string, roles Roles) (*Node, error) {
 		}
 	}
 	if roles.Data != nil {
-		if err := srv.RegisterName(dataService, &DataServer{R: roles.Data}); err != nil {
+		if err := srv.RegisterName(dataService, &DataServer{R: roles.Data, H: roles.Health, E: roles.Healer}); err != nil {
 			return nil, err
 		}
 	}
@@ -459,17 +511,19 @@ func (c *Client) Put(key chunk.Key, data []byte) ([]provider.ID, error) {
 
 // Get implements blob.DataService.
 func (c *Client) Get(key chunk.Key, off, length int64) ([]byte, error) {
-	var data []byte
-	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length}, &data)
-	return data, err
+	var reply GetChunkReply
+	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length}, &reply)
+	return reply.Data, err
 }
 
 // GetFrom implements blob.DataService: a read carrying the replica
-// hint recorded in metadata, served with server-side failover.
-func (c *Client) GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, error) {
-	var data []byte
-	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length, Replicas: replicas}, &data)
-	return data, err
+// hint recorded in metadata, served with server-side failover. A
+// non-nil fresh replica set means the hint was stale and the caller
+// should cache the returned set.
+func (c *Client) GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, []provider.ID, error) {
+	var reply GetChunkReply
+	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length, Replicas: replicas}, &reply)
+	return reply.Data, reply.Fresh, err
 }
 
 // Repair runs a re-replication pass on the data node and returns its
@@ -484,4 +538,20 @@ func (c *Client) Repair() (provider.RepairStats, error) {
 // it).
 func (c *Client) SetProviderDown(id provider.ID, down bool) error {
 	return c.data.Call(dataService+".SetProviderDown", &SetDownArgs{Provider: id, Down: down}, &struct{}{})
+}
+
+// Health returns the data node's per-provider health snapshot (errors
+// when the node does not run the self-healing loop).
+func (c *Client) Health() ([]provider.HealthStatus, error) {
+	var st []provider.HealthStatus
+	err := c.data.Call(dataService+".Health", &HealthArgs{}, &st)
+	return st, err
+}
+
+// Scrub returns the data node's healer statistics; with sync it first
+// forces a full scrub pass and drains the repair queue.
+func (c *Client) Scrub(sync bool) (core.HealerStats, error) {
+	var st core.HealerStats
+	err := c.data.Call(dataService+".Scrub", &ScrubArgs{Sync: sync}, &st)
+	return st, err
 }

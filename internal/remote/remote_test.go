@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
+	"repro/internal/core"
 	"repro/internal/extent"
 	"repro/internal/iosim"
 	"repro/internal/metadata"
@@ -318,5 +319,111 @@ func TestAbortOverRPC(t *testing.T) {
 	// Aborting twice must surface the server-side error.
 	if err := c.Abort(1, tk.Version); err == nil {
 		t.Fatal("double abort must fail")
+	}
+}
+
+func TestSelfHealNodeOverRPC(t *testing.T) {
+	// A data node running the self-healing loop: health and scrub RPCs
+	// report the error-driven detector's state, and a synchronous scrub
+	// pass repairs a lost provider with no repair RPC ever issued.
+	mgr, faults := provider.NewFaultPool(4, iosim.CostModel{})
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(2)
+	health := provider.NewHealthMonitor(mgr, provider.HealthConfig{Threshold: 2})
+	router.SetHealthMonitor(health)
+	healer := core.NewHealer(router, health, core.HealerConfig{})
+	router.SetDegradedHandler(healer.EnqueueRepair)
+
+	node, err := Listen("127.0.0.1:0", Roles{
+		VM:     vmanager.New(iosim.CostModel{}),
+		Meta:   metadata.NewStore(2, iosim.CostModel{}),
+		Data:   router,
+		Health: health,
+		Healer: healer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	addr := node.Addr()
+	c := dialClient(t, Endpoints{VM: addr, Meta: addr, Data: addr})
+
+	b, err := blob.Create(c.Services(), 1, segtree.Geometry{Capacity: 1 << 16, Page: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("h"), 1500)
+	var versions []uint64
+	for i := 0; i < 4; i++ {
+		v, err := b.Write(int64(i)*1500, payload, blob.WriteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, v)
+	}
+
+	sts, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 4 || sts[0].State != provider.Live {
+		t.Fatalf("health snapshot = %+v", sts)
+	}
+
+	// Kill a store behind the node's back, then force a synchronous
+	// scrub pass over RPC: detection and re-replication both happen
+	// server-side.
+	faults[2].SetDown(true)
+	scrub, err := c.Scrub(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrub.ScrubPasses == 0 || scrub.Repaired == 0 || scrub.QueueLen != 0 {
+		t.Fatalf("sync scrub over RPC: %+v", scrub)
+	}
+	if router.UnderReplicated() != 0 {
+		t.Fatalf("%d chunks still degraded after RPC scrub", router.UnderReplicated())
+	}
+	sts, err = c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts[2].State != provider.Down {
+		t.Fatalf("store-level kill not detected over RPC: %+v", sts[2])
+	}
+	// Async form just reports counters.
+	again, err := c.Scrub(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ScrubbedChunks < scrub.ScrubbedChunks {
+		t.Fatalf("async scrub stats went backward: %+v then %+v", scrub, again)
+	}
+	// Every version remains readable after the autonomous repair.
+	for _, v := range versions {
+		if _, err := b.ReadAt(v, int64(v-1)*1500, 1500); err != nil {
+			t.Fatalf("read v%d after self-heal: %v", v, err)
+		}
+	}
+}
+
+func TestSelfHealRPCsRequireHealer(t *testing.T) {
+	mgr, _ := provider.NewPool(2, iosim.CostModel{})
+	node, err := Listen("127.0.0.1:0", Roles{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: provider.NewRouter(mgr),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	addr := node.Addr()
+	c := dialClient(t, Endpoints{VM: addr, Meta: addr, Data: addr})
+	if _, err := c.Health(); err == nil {
+		t.Fatal("Health RPC on a non-self-heal node must fail")
+	}
+	if _, err := c.Scrub(false); err == nil {
+		t.Fatal("Scrub RPC on a non-self-heal node must fail")
 	}
 }

@@ -1,0 +1,248 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/verify"
+)
+
+// HealConfig parameterizes one self-healing torture run: the usual
+// overlap-heavy workload on a replicated deployment, except the
+// seed-scheduled provider dies at the STORE level (its chunk store
+// starts erroring) and nobody calls SetDown or Repair — detection,
+// re-replication and read-repair must all happen autonomously, within
+// a bounded number of virtual-time healer ticks.
+type HealConfig struct {
+	CrashConfig
+	// MaxTicks bounds the healer ticks allowed to restore full
+	// replication after each kill (default 400).
+	MaxTicks int
+}
+
+// HealPlan is the seed-derived schedule: Victim's store dies after
+// AfterCalls atomic writes; once the system has healed itself, Second
+// (a different provider) dies too.
+type HealPlan struct {
+	Victim     provider.ID
+	AfterCalls int
+	Second     provider.ID
+}
+
+// Plan derives the schedule from the seed, on its own stream so it is
+// independent of the call generator and of CrashConfig.Plan.
+func (c HealConfig) Plan() HealPlan {
+	providers := c.Providers
+	if providers <= 0 {
+		providers = 8
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x6865616c2d763100)) // "heal-v1"
+	total := c.Writers * c.CallsPerWriter
+	victim := provider.ID(rng.Intn(providers))
+	second := provider.ID(rng.Intn(providers - 1))
+	if second >= victim {
+		second++
+	}
+	return HealPlan{
+		Victim:     victim,
+		AfterCalls: total/4 + rng.Intn(total/2+1),
+		Second:     second,
+	}
+}
+
+// HealReport summarizes one self-healing run.
+type HealReport struct {
+	Plan        HealPlan
+	FailedCalls int   // writes that failed (must be 0 at R >= 2)
+	Detected    bool  // the monitor flagged the victim from errors alone
+	TicksFirst  int   // healer ticks to restore full replication after kill 1
+	TicksSecond int   // ... after kill 2
+	Scrubbed    int   // versions read back in full after kill 1 healed
+	PostSecond  int   // versions read back in full after kill 2 healed
+	Enqueued    int64 // chunks that entered the repair queue (scrub + read-repair)
+	Dropped     int64 // enqueues shed by the bounded queue (backpressure)
+	Revived     bool  // victim 1 returned to Live after its store recovered
+}
+
+// healKnobs are the self-heal parameters the torture run pins down so
+// the tick math is deterministic: threshold 2, probation 30 virtual
+// seconds (the virtual clock advances 1s per healer tick), a scrub
+// budget of 32 chunks and 8 repairs per tick, and a repair queue of 64
+// — smaller than the degraded set most seeds produce, so the
+// drop-and-refind backpressure path is exercised, not just tolerated.
+func healEnv(cfg HealConfig) cluster.Env {
+	env := cluster.Default()
+	env.Providers = cfg.Providers
+	env.Replicas = cfg.Replicas
+	env.SelfHeal = true
+	env.FaultInjection = true
+	env.FailThreshold = 2
+	env.Probation = 30 * time.Second
+	env.ScrubRate = 32
+	env.RepairRate = 8
+	env.RepairQueue = 64
+	return env
+}
+
+// RunHeal executes the self-healing schedule. The contract it checks:
+//
+//   - Writes keep committing through the store-level kill (write
+//     quorum), with zero failures at R >= 2, and the outcome stays
+//     serializable.
+//   - With NO operator action — no SetDown, no Repair call — the
+//     monitor deduces the victim is down from observed store errors,
+//     and the scrubber + read-repair queue restore every chunk to full
+//     replication within MaxTicks virtual-time ticks.
+//   - Every published snapshot then scrubs clean, a SECOND provider
+//     loss heals the same way, and the first victim, once its store
+//     recovers, is re-probed after probation and returns to service.
+func RunHeal(cfg HealConfig) (HealReport, error) {
+	if cfg.Replicas < 2 {
+		return HealReport{}, errors.New("torture: RunHeal needs R >= 2")
+	}
+	if cfg.Providers <= 0 {
+		cfg.Providers = 8
+	}
+	if cfg.MaxTicks <= 0 {
+		cfg.MaxTicks = 400
+	}
+	perWriter, err := cfg.Calls()
+	if err != nil {
+		return HealReport{}, err
+	}
+	plan := cfg.Plan()
+	report := HealReport{Plan: plan}
+
+	svc, err := cluster.NewVersioning(healEnv(cfg))
+	if err != nil {
+		return report, err
+	}
+	be, err := svc.Backend(1, cfg.Span())
+	if err != nil {
+		return report, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+
+	// Virtual clock: one healer tick = one virtual second. The monitor
+	// never reads the wall clock, so probation timing is deterministic.
+	var vsec atomic.Int64
+	svc.Health.SetClock(func() time.Time { return time.Unix(vsec.Load(), 0) })
+	tick := func() {
+		vsec.Add(1)
+		svc.Healer.Tick()
+	}
+	// heal ticks until every known chunk is back at full degree and the
+	// repair queue is empty; reports the ticks spent, or -1 on timeout.
+	heal := func() int {
+		for t := 1; t <= cfg.MaxTicks; t++ {
+			tick()
+			if svc.Healer.QueueLen() == 0 && svc.Router.UnderReplicated() == 0 {
+				return t
+			}
+		}
+		return -1
+	}
+
+	// The workload, racing a store-level kill. Note what is absent:
+	// no svc.Providers.SetDown, no svc.Router.Repair, ever.
+	var completed atomic.Int64
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() { svc.Faults[plan.Victim].SetDown(true) })
+	}
+	var mu sync.Mutex
+	okCalls := make([]verify.Call, 0, cfg.Writers*cfg.CallsPerWriter)
+	var failures []error
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, call := range perWriter[w] {
+				vec, err := verify.MakeVec(call)
+				if err == nil {
+					err = d.WriteList(vec, true)
+				}
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, fmt.Errorf("call %d: %w", call.ID, err))
+				} else {
+					okCalls = append(okCalls, call)
+				}
+				mu.Unlock()
+				if int(completed.Add(1)) >= plan.AfterCalls {
+					kill()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	kill()
+
+	report.FailedCalls = len(failures)
+	if len(failures) > 0 {
+		return report, fmt.Errorf("torture(seed=%d): R=%d writes failed despite quorum: %w",
+			cfg.Seed, cfg.Replicas, errors.Join(failures...))
+	}
+
+	// Atomicity survives the kill; these degraded reads also feed the
+	// read-repair queue with exactly the chunks that needed failover.
+	if err := verify.CheckCalls(reader{d}, okCalls); err != nil {
+		return report, fmt.Errorf("torture(seed=%d): %w", cfg.Seed, err)
+	}
+
+	// Self-healing round 1: no operator, bounded virtual time.
+	report.TicksFirst = heal()
+	if report.TicksFirst < 0 {
+		return report, fmt.Errorf("torture(seed=%d): %d under-replicated chunks remain after %d ticks (victim %d): %+v",
+			cfg.Seed, svc.Router.UnderReplicated(), cfg.MaxTicks, plan.Victim, svc.Healer.Stats())
+	}
+	report.Detected = svc.Health.State(plan.Victim) == provider.Down
+	if !report.Detected {
+		return report, fmt.Errorf("torture(seed=%d): victim %d healed around but never marked down (state %s)",
+			cfg.Seed, plan.Victim, svc.Health.State(plan.Victim))
+	}
+	n, err := be.Scrub()
+	report.Scrubbed = n
+	if err != nil {
+		return report, fmt.Errorf("torture(seed=%d): snapshot unreadable after self-heal: %w", cfg.Seed, err)
+	}
+
+	// Round 2: a different provider dies. Replication was restored, so
+	// this too must heal without losing any published byte.
+	svc.Faults[plan.Second].SetDown(true)
+	report.TicksSecond = heal()
+	if report.TicksSecond < 0 {
+		return report, fmt.Errorf("torture(seed=%d): second kill (provider %d) did not heal in %d ticks: %+v",
+			cfg.Seed, plan.Second, cfg.MaxTicks, svc.Healer.Stats())
+	}
+	n, err = be.Scrub()
+	report.PostSecond = n
+	if err != nil {
+		return report, fmt.Errorf("torture(seed=%d): snapshot unreadable after second self-heal: %w", cfg.Seed, err)
+	}
+
+	// Recovery: the first victim's store comes back; probation probes
+	// must return it to service without operator action.
+	svc.Faults[plan.Victim].SetDown(false)
+	for t := 0; t < cfg.MaxTicks && !report.Revived; t++ {
+		tick()
+		report.Revived = svc.Health.State(plan.Victim) == provider.Live
+	}
+	if !report.Revived {
+		return report, fmt.Errorf("torture(seed=%d): victim %d never revived after its store recovered (state %s)",
+			cfg.Seed, plan.Victim, svc.Health.State(plan.Victim))
+	}
+
+	st := svc.Healer.Stats()
+	report.Enqueued = st.Enqueued
+	report.Dropped = st.Dropped
+	return report, nil
+}
