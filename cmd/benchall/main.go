@@ -6,8 +6,12 @@
 // commit, E9 chunk replication (write overhead of R copies and
 // degraded-read throughput with a provider killed mid-run), and E10
 // self-healing (time from an undetected provider-store loss to full
-// re-replication, with and without read-repair). Expect a full run to
-// take a few minutes; -quick shrinks the matrix for smoke runs.
+// re-replication, with and without read-repair), and E11 space
+// reclamation (bytes reclaimed by version GC against the drop
+// schedule's exclusive set, the reclamation rate at the configured
+// delete budget, and the foreground write-latency impact of a GC
+// storm). Expect a full run to take a few minutes; -quick shrinks the
+// matrix for smoke runs.
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 		runE8(*quick)
 		runE9(*quick)
 		runE10(*quick)
+		runE11(*quick)
 	}
 	runE6(*quick)
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
@@ -367,6 +372,50 @@ func runE10(quick bool) {
 					fmt.Sprintf("%d", res.HealTicks),
 					fmt.Sprintf("%.1fms", float64(res.HealElapsed.Microseconds())/1000),
 					fmt.Sprintf("%d", res.Stats.Repaired),
+				)
+			}
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E11: space reclamation — the retention policy drops all but the
+// newest versions and the rate-limited reaper deletes their exclusive
+// chunks from every replica. Reported per cell: bytes actually freed
+// against the drop schedule's independently computed exclusive set
+// (RunGC fails if reclaimed < expected), the reclamation rate, and how
+// much a GC storm inflates concurrent foreground write latency — the
+// same starvation guard E10 applies to repair.
+func runE11(quick bool) {
+	clients := []int{8, 16}
+	rounds := 6
+	if quick {
+		clients = []int{8}
+		rounds = 4
+	}
+	tbl := bench.NewTable("E11: version GC (16 regions x 32 KiB, overlap 0.75; keep newest 2 versions, reap the rest)",
+		"clients", "R", "gc-rate", "versions", "dropped", "reclaimed MB", "expected MB", "reclaim MB/s", "fg latency impact")
+	for _, n := range clients {
+		spec := workload.OverlapSpec{Clients: n, Regions: 16, RegionSize: 32 << 10, OverlapFraction: 0.75}
+		for _, r := range []int{2, 3} {
+			for _, rate := range []int{4, 16} {
+				res, err := bench.RunGC(env(), spec, bench.GCOptions{
+					Replicas: r, Rounds: rounds, KeepLast: 2, GCRate: rate,
+				})
+				if err != nil {
+					die(err)
+				}
+				tbl.AddRow(
+					fmt.Sprintf("%d", n),
+					fmt.Sprintf("%d", r),
+					fmt.Sprintf("%d", rate),
+					fmt.Sprintf("%d", res.Versions),
+					fmt.Sprintf("%d", res.Dropped),
+					fmt.Sprintf("%.1f", float64(res.DeletedBytes)/(1<<20)),
+					fmt.Sprintf("%.1f", float64(res.ExpectedBytes)/(1<<20)),
+					fmt.Sprintf("%.1f", res.ReclaimMBps),
+					fmt.Sprintf("%.2fx", res.Impact),
 				)
 			}
 		}

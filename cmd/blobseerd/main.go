@@ -5,6 +5,7 @@
 //	blobseerd -listen :4001 -roles data -providers 16 -replicas 3
 //	blobseerd -listen :4002 -roles vm -batch 32 -batch-delay 200us
 //	blobseerd -listen :4003 -roles data -replicas 3 -self-heal -scrub-interval 50ms
+//	blobseerd -listen :4004 -roles vm,meta,data -replicas 2 -retain 8 -gc-rate 8
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
 // of the three roles, which may be the same node or different nodes.
@@ -19,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/blob"
 	"repro/internal/core"
 	"repro/internal/iosim"
 	"repro/internal/metadata"
@@ -46,8 +48,18 @@ func main() {
 		scrubRate     = flag.Int("scrub-rate", 64, "chunk replica verifications per healer tick (self-heal)")
 		repairRate    = flag.Int("repair-rate", 4, "re-replications per healer tick (self-heal)")
 		repairQueue   = flag.Int("repair-queue", 256, "bounded repair queue depth (self-heal)")
+		scrubOrder    = flag.String("scrub-order", "oldest", "scrub walk order over versions: oldest (default) or newest first (self-heal)")
+
+		gcEnable   = flag.Bool("gc", false, "run the version-lifecycle garbage collector (requires vm,meta,data roles on this node)")
+		retain     = flag.Int("retain", 0, "automatic retention policy: keep the newest N versions of every blob, drop the rest (implies -gc; 0 = manual drops only)")
+		gcRate     = flag.Int("gc-rate", 4, "chunk deletions per reaper tick (gc)")
+		gcInterval = flag.Duration("gc-interval", 200*time.Millisecond, "background reaper tick period (gc)")
+		gcQueue    = flag.Int("gc-queue", 256, "bounded delete queue depth (gc)")
 	)
 	flag.Parse()
+	if *retain > 0 {
+		*gcEnable = true
+	}
 
 	dataModel, metaModel, ctrlModel := iosim.CostModel{}, iosim.CostModel{}, iosim.CostModel{}
 	if *simulate {
@@ -78,6 +90,15 @@ func main() {
 			roles.Data.SetReplicas(*replicas)
 			roles.Data.SetWriteQuorum(*quorum)
 			if *selfHeal {
+				order := core.OldestFirst
+				switch *scrubOrder {
+				case "oldest":
+				case "newest":
+					order = core.NewestFirst
+				default:
+					fmt.Fprintf(os.Stderr, "unknown -scrub-order %q (want oldest or newest)\n", *scrubOrder)
+					os.Exit(2)
+				}
 				roles.Health = provider.NewHealthMonitor(pool, provider.HealthConfig{
 					Threshold: *failThreshold,
 					Probation: *probation,
@@ -90,6 +111,7 @@ func main() {
 					RepairsPerTick:     *repairRate,
 					QueueDepth:         *repairQueue,
 					Interval:           *scrubInterval,
+					Order:              order,
 				})
 				roles.Data.SetDegradedHandler(roles.Healer.EnqueueRepair)
 			}
@@ -98,6 +120,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown role %q (want vm, meta, data)\n", role)
 			os.Exit(2)
 		}
+	}
+
+	if *gcEnable {
+		// The reaper walks blob metadata and talks to the version
+		// manager, so it needs every role in-process.
+		if roles.VM == nil || roles.Meta == nil || roles.Data == nil {
+			fmt.Fprintln(os.Stderr, "-gc/-retain require the vm, meta and data roles on this node")
+			os.Exit(2)
+		}
+		roles.Reaper = core.NewReaper(roles.Data, core.ReaperConfig{
+			RetainLast:     *retain,
+			DeletesPerTick: *gcRate,
+			QueueDepth:     *gcQueue,
+			Interval:       *gcInterval,
+		})
+		// Blobs are created by clients over RPC; the reaper discovers
+		// them from the version manager at each pass start.
+		roles.Reaper.SetCatalog(blob.Services{VM: roles.VM, Meta: roles.Meta, Data: roles.Data}, roles.VM)
 	}
 
 	node, err := remote.Listen(*listen, roles)
@@ -109,8 +149,14 @@ func main() {
 	if roles.Healer != nil {
 		roles.Healer.Run()
 		defer roles.Healer.Stop()
-		fmt.Printf("self-heal: threshold %d, probation %s, scrub %d chunks / repair %d chunks per %s tick\n",
-			*failThreshold, *probation, *scrubRate, *repairRate, *scrubInterval)
+		fmt.Printf("self-heal: threshold %d, probation %s, scrub %d chunks (%s first) / repair %d chunks per %s tick\n",
+			*failThreshold, *probation, *scrubRate, *scrubOrder, *repairRate, *scrubInterval)
+	}
+	if roles.Reaper != nil {
+		roles.Reaper.Run()
+		defer roles.Reaper.Stop()
+		fmt.Printf("gc: retain %d, %d deletes per %s tick, queue %d\n",
+			*retain, *gcRate, *gcInterval, *gcQueue)
 	}
 	fmt.Printf("blobseerd serving %s on %s\n", *rolesFlag, node.Addr())
 

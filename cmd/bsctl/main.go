@@ -11,6 +11,12 @@
 //	bsctl repair                  # re-replicate chunks that lost copies
 //	bsctl health                  # failure-detector state per provider
 //	bsctl scrub [-sync]           # healer stats; -sync forces a full pass
+//	bsctl retain -blob 1 -keep 8  # drop all but the newest 8 versions
+//	bsctl drop -blob 1 -version 3 # drop one version
+//	bsctl pin -blob 1 -version 3  # protect a version from retention
+//	bsctl unpin -blob 1 -version 3
+//	bsctl gc [-sync]              # reaper stats; -sync forces a full pass
+//	bsctl usage                   # per-provider chunk count / bytes stored
 package main
 
 import (
@@ -46,7 +52,8 @@ func main() {
 	data := sub.String("data", "", "payload for write (repeated/truncated to fit)")
 	version := sub.Uint64("version", 0, "snapshot version for read (0 = latest)")
 	providerID := sub.Int("provider", -1, "data provider id (down/up)")
-	syncScrub := sub.Bool("sync", false, "run a full scrub+repair pass before reporting (scrub)")
+	syncScrub := sub.Bool("sync", false, "run a full pass before reporting (scrub/gc)")
+	keep := sub.Int("keep", 0, "versions to retain (retain)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -160,6 +167,74 @@ func main() {
 		fmt.Printf("repair: restored %d, healthy %d, failed %d, lost %d\n",
 			st.Repaired, st.RepairHealthy, st.RepairFailed, st.Lost)
 
+	case "retain":
+		if *keep < 1 {
+			fail(fmt.Errorf("bsctl: retain requires -keep >= 1"))
+		}
+		dropped, err := cli.Retain(*blobID, *keep)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("retained newest %d versions of blob %d; dropped %d: %v\n", *keep, *blobID, len(dropped), dropped)
+
+	case "drop":
+		if *version == 0 {
+			fail(fmt.Errorf("bsctl: drop requires -version"))
+		}
+		if err := cli.DropVersion(*blobID, *version); err != nil {
+			fail(err)
+		}
+		fmt.Printf("dropped blob %d v%d (pending reclamation)\n", *blobID, *version)
+
+	case "pin", "unpin":
+		if *version == 0 {
+			fail(fmt.Errorf("bsctl: %s requires -version", cmd))
+		}
+		var err error
+		if cmd == "pin" {
+			err = cli.Pin(*blobID, *version)
+		} else {
+			err = cli.Unpin(*blobID, *version)
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("blob %d v%d %sned\n", *blobID, *version, cmd)
+
+	case "gc":
+		st, err := cli.GC(*syncScrub)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("gc: ticks %d, passes %d, auto-dropped %d versions, reclaimed %d versions\n",
+			st.Ticks, st.Passes, st.AutoDropped, st.Reclaimed)
+		fmt.Printf("walk: %d refs (%d stale hints, %d errors), %d pending versions diffed\n",
+			st.WalkedRefs, st.StaleHints, st.WalkErrors, st.PendingSeen)
+		fmt.Printf("delete: %d chunks / %d replicas / %d bytes reclaimed (%d failed, %d deferred to repair)\n",
+			st.Deleted, st.ReplicasRemoved, st.DeletedBytes, st.DeleteFailed, st.DeferredBusy)
+		fmt.Printf("queue: enqueued %d, dup %d, dropped %d, depth %d\n",
+			st.Enqueued, st.Duplicates, st.Dropped, st.QueueLen)
+
+	case "usage":
+		us, err := cli.Usage()
+		if err != nil {
+			fail(err)
+		}
+		var chunks int
+		var bytes int64
+		for _, u := range us {
+			state := "live"
+			if u.Down {
+				state = "down"
+			}
+			fmt.Printf("provider %-3d %-5s %6d chunks %12d bytes\n", u.Provider, state, u.Chunks, u.Bytes)
+			if !u.Down {
+				chunks += u.Chunks
+				bytes += u.Bytes
+			}
+		}
+		fmt.Printf("total (live)     %6d chunks %12d bytes\n", chunks, bytes)
+
 	case "down", "up":
 		if *providerID < 0 {
 			fail(fmt.Errorf("bsctl: %s requires -provider", cmd))
@@ -212,6 +287,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|repair|health|scrub|down|up [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|repair|health|scrub|down|up [flags]")
 	os.Exit(2)
 }

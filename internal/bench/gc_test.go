@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func TestRunGCSmoke(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 4, Regions: 8, RegionSize: 8 << 10, OverlapFraction: 0.75}
+	res, err := RunGC(cluster.Default(), spec, GCOptions{Replicas: 2, Rounds: 4, KeepLast: 2, GCRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 || res.Reclaimed == 0 {
+		t.Fatalf("drop schedule reclaimed nothing: %+v", res)
+	}
+	if res.DeletedBytes < res.ExpectedBytes || res.ExpectedBytes == 0 {
+		t.Fatalf("reclaimed %d bytes, expected at least %d", res.DeletedBytes, res.ExpectedBytes)
+	}
+	// BytesAfter includes the storm phase's foreground writes, so it
+	// can exceed BytesBefore; the reclamation claim is DeletedBytes vs
+	// the independently computed exclusive set (checked above).
+	if res.BaselineLatency <= 0 || res.StormLatency <= 0 {
+		t.Fatalf("latency not measured: %+v", res)
+	}
+}

@@ -38,6 +38,15 @@ type VersionService interface {
 	LatestPublished(blob uint64) (vmanager.SnapshotInfo, error)
 	Snapshot(blob, v uint64) (vmanager.SnapshotInfo, error)
 	Versions(blob uint64) ([]uint64, error)
+
+	// Version lifecycle (vmanager/lifecycle.go): retention policy,
+	// reader pins, and the garbage collector's bookkeeping.
+	Retain(blob uint64, keepLast int) ([]uint64, error)
+	DropVersion(blob, v uint64) error
+	Pin(blob, v uint64) error
+	Unpin(blob, v uint64) error
+	GCInfo(blob uint64) (vmanager.GCInfo, error)
+	MarkReclaimed(blob, v uint64) error
 }
 
 var _ VersionService = (*vmanager.Manager)(nil)
@@ -418,6 +427,84 @@ func (b *Blob) ChunkRefs(version uint64) ([]chunk.Ref, error) {
 		refs = append(refs, f.Ref)
 	}
 	return refs, nil
+}
+
+// Retain applies the retention policy: drop every published version
+// older than the newest keepLast, skipping pinned versions. Returns
+// the versions newly dropped (they become pending reclamation).
+func (b *Blob) Retain(keepLast int) ([]uint64, error) {
+	return b.svc.VM.Retain(b.id, keepLast)
+}
+
+// DropVersion removes one published version from the readable set and
+// queues it for chunk reclamation. The latest version, version 0 and
+// pinned versions are refused.
+func (b *Blob) DropVersion(v uint64) error {
+	return b.svc.VM.DropVersion(b.id, v)
+}
+
+// Pin protects a published version from retention until Unpin —
+// readers holding an old snapshot open pin it so the reaper can never
+// reclaim the bytes under them.
+func (b *Blob) Pin(v uint64) error { return b.svc.VM.Pin(b.id, v) }
+
+// Unpin releases one Pin.
+func (b *Blob) Unpin(v uint64) error { return b.svc.VM.Unpin(b.id, v) }
+
+// GCInfo returns the blob's version-lifecycle snapshot.
+func (b *Blob) GCInfo() (vmanager.GCInfo, error) {
+	return b.svc.VM.GCInfo(b.id)
+}
+
+// MarkReclaimed records that the collector finished deleting a pending
+// version's exclusive chunks.
+func (b *Blob) MarkReclaimed(v uint64) error {
+	return b.svc.VM.MarkReclaimed(b.id, v)
+}
+
+// ExclusiveChunks computes the chunk keys referenced by the pending
+// dropped version v but by no retained version — the set the reaper
+// may delete. The walk (segtree.ExclusiveChunks) skips subtrees the
+// dropped version shares with any retained snapshot, so the cost is
+// proportional to the metadata that distinguishes it from its
+// retained neighbors.
+func (b *Blob) ExclusiveChunks(v uint64) ([]chunk.Key, error) {
+	info, err := b.GCInfo()
+	if err != nil {
+		return nil, err
+	}
+	var root segtree.NodeKey
+	found := false
+	for _, p := range info.Pending {
+		if p.Version == v {
+			root, found = p.Root, true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %d", vmanager.ErrNotPending, v)
+	}
+	if root.IsZero() {
+		return nil, nil // empty or fully aborted snapshot
+	}
+	keep := make([]segtree.NodeKey, 0, len(info.Retained))
+	for _, rv := range info.Retained {
+		snap, err := b.svc.VM.Snapshot(b.id, rv)
+		if err != nil {
+			// A retained version listed at GCInfo time may have been
+			// dropped since; a version that is no longer retained
+			// protects nothing — its own pending entry will guard its
+			// chunks — so skip it rather than fail the walk.
+			if errors.Is(err, vmanager.ErrVersionDropped) {
+				continue
+			}
+			return nil, err
+		}
+		if !snap.Root.IsZero() {
+			keep = append(keep, snap.Root)
+		}
+	}
+	return b.tree.ExclusiveChunks(root, keep)
 }
 
 // Diff returns the byte ranges whose contents may differ between two

@@ -1,0 +1,56 @@
+package blob
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/extent"
+	"repro/internal/vmanager"
+)
+
+func TestLifecycleThroughBlobHandle(t *testing.T) {
+	b := testBlob(t)
+	// Three versions rewriting the same page: v1's chunk becomes
+	// exclusive once v2 fully overwrites it.
+	for i := 0; i < 3; i++ {
+		if _, err := b.WriteList(fillVec(t, extent.List{{Offset: 0, Length: 1024}}, byte(i+1)), WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.DropVersion(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadAt(1, 0, 1024); !errors.Is(err, vmanager.ErrVersionDropped) {
+		t.Fatalf("read of dropped version = %v, want ErrVersionDropped", err)
+	}
+	vs, err := b.Versions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 { // 0, 2, 3
+		t.Fatalf("versions = %v", vs)
+	}
+	keys, err := b.ExclusiveChunks(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0].Version != 1 {
+		t.Fatalf("exclusive chunks of v1 = %v, want its one overwritten chunk", keys)
+	}
+	// v2 is still live even though overwritten by v3? Its chunk is
+	// exclusive to it, but v2 is retained, so nothing else may claim
+	// it: ExclusiveChunks of a non-pending version errors.
+	if _, err := b.ExclusiveChunks(2); !errors.Is(err, vmanager.ErrNotPending) {
+		t.Fatalf("exclusive of retained version = %v, want ErrNotPending", err)
+	}
+	if err := b.MarkReclaimed(1); err != nil {
+		t.Fatal(err)
+	}
+	info, err := b.GCInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Pending) != 0 || info.Reclaimed != 1 {
+		t.Fatalf("gc info = %+v", info)
+	}
+}

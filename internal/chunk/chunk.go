@@ -113,7 +113,10 @@ var ErrNotFound = errors.New("chunk: not found")
 // immutable so double stores indicate a protocol violation.
 var ErrExists = errors.New("chunk: already exists")
 
-// Store is the provider-side chunk repository.
+// Store is the provider-side chunk repository. Chunks are immutable
+// while stored, but not immortal: Delete is the space-reclamation path
+// the version-lifecycle garbage collector drives once no retained
+// snapshot references a chunk (see provider.Router.DeleteReplicas).
 type Store interface {
 	// Put stores an immutable chunk. Storing the same key twice fails
 	// with ErrExists.
@@ -122,14 +125,23 @@ type Store interface {
 	Get(key Key, off, length int64) ([]byte, error)
 	// Len returns the stored chunk's size, or ErrNotFound.
 	Len(key Key) (int64, error)
+	// Delete removes a stored chunk; deleting an absent key fails with
+	// ErrNotFound. Only the garbage collector may call this, and only
+	// for chunks no retained version references.
+	Delete(key Key) error
 	// Count returns the number of chunks held.
 	Count() int
+	// Usage reports the chunks held and their total payload bytes —
+	// the accounting behind per-provider space reporting (bsctl usage)
+	// and reclamation verification.
+	Usage() (chunks int, bytes int64)
 }
 
 // MemStore is an in-memory chunk store metered by an iosim.Meter.
 type MemStore struct {
 	mu     sync.RWMutex
 	chunks map[Key][]byte
+	bytes  int64
 	meter  *iosim.Meter
 }
 
@@ -147,6 +159,7 @@ func (s *MemStore) Put(key Key, data []byte) error {
 	_, dup := s.chunks[key]
 	if !dup {
 		s.chunks[key] = cp
+		s.bytes += int64(len(cp))
 	}
 	s.mu.Unlock()
 	if dup {
@@ -188,11 +201,36 @@ func (s *MemStore) Len(key Key) (int64, error) {
 	return int64(len(data)), nil
 }
 
+// Delete implements Store.
+func (s *MemStore) Delete(key Key) error {
+	s.mu.Lock()
+	data, ok := s.chunks[key]
+	if ok {
+		delete(s.chunks, key)
+		s.bytes -= int64(len(data))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if s.meter != nil {
+		s.meter.Charge(0)
+	}
+	return nil
+}
+
 // Count implements Store.
 func (s *MemStore) Count() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.chunks)
+}
+
+// Usage implements Store.
+func (s *MemStore) Usage() (int, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks), s.bytes
 }
 
 // DiskStore persists each chunk as one file under a directory. It is the
@@ -201,6 +239,7 @@ type DiskStore struct {
 	dir   string
 	mu    sync.RWMutex
 	known map[Key]int64 // size index to avoid stat storms
+	bytes int64
 	meter *iosim.Meter
 }
 
@@ -228,6 +267,7 @@ func NewDiskStore(dir string, meter *iosim.Meter) (*DiskStore, error) {
 			continue
 		}
 		s.known[Key{Blob: blob, Version: ver, Index: idx}] = info.Size()
+		s.bytes += info.Size()
 	}
 	return s, nil
 }
@@ -246,10 +286,12 @@ func (s *DiskStore) Put(key Key, data []byte) error {
 	// Reserve the key before releasing the lock so concurrent writers
 	// of the same key fail fast; the file write happens outside.
 	s.known[key] = int64(len(data))
+	s.bytes += int64(len(data))
 	s.mu.Unlock()
 	if err := os.WriteFile(s.path(key), data, 0o644); err != nil {
 		s.mu.Lock()
 		delete(s.known, key)
+		s.bytes -= int64(len(data))
 		s.mu.Unlock()
 		return fmt.Errorf("chunk: write %s: %w", key, err)
 	}
@@ -296,9 +338,39 @@ func (s *DiskStore) Len(key Key) (int64, error) {
 	return size, nil
 }
 
+// Delete implements Store. The index entry is dropped first, so the
+// chunk is logically gone even if the file removal fails (the orphan
+// file is retried as ErrNotFound, i.e. success, on the next pass).
+func (s *DiskStore) Delete(key Key) error {
+	s.mu.Lock()
+	size, ok := s.known[key]
+	if ok {
+		delete(s.known, key)
+		s.bytes -= size
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("chunk: delete %s: %w", key, err)
+	}
+	if s.meter != nil {
+		s.meter.Charge(0)
+	}
+	return nil
+}
+
 // Count implements Store.
 func (s *DiskStore) Count() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.known)
+}
+
+// Usage implements Store.
+func (s *DiskStore) Usage() (int, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.known), s.bytes
 }

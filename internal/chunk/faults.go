@@ -77,8 +77,21 @@ func (f *FaultStore) Len(key Key) (int64, error) {
 	return f.Inner.Len(key)
 }
 
+// Delete implements Store.
+func (f *FaultStore) Delete(key Key) error {
+	if f.down.Load() {
+		return ErrDown
+	}
+	return f.Inner.Delete(key)
+}
+
 // Count implements Store.
 func (f *FaultStore) Count() int { return f.Inner.Count() }
+
+// Usage implements Store. Accounting is answered even while the store
+// is down: it models out-of-band bookkeeping, not a data-path request
+// to the dead machine (callers report the down flag alongside).
+func (f *FaultStore) Usage() (int, int64) { return f.Inner.Usage() }
 
 // take decrements the counter if positive and reports whether a fault
 // fired.

@@ -1,0 +1,161 @@
+package chunk
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreDeleteAndUsage(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			k1 := Key{Blob: 1, Version: 1, Index: 0}
+			k2 := Key{Blob: 1, Version: 2, Index: 0}
+			if err := s.Put(k1, make([]byte, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(k2, make([]byte, 50)); err != nil {
+				t.Fatal(err)
+			}
+			if n, b := s.Usage(); n != 2 || b != 150 {
+				t.Fatalf("usage = %d chunks / %d bytes, want 2 / 150", n, b)
+			}
+			if err := s.Delete(k1); err != nil {
+				t.Fatal(err)
+			}
+			if n, b := s.Usage(); n != 1 || b != 50 {
+				t.Fatalf("after delete: usage = %d / %d, want 1 / 50", n, b)
+			}
+			if _, err := s.Get(k1, 0, 1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("get deleted = %v, want ErrNotFound", err)
+			}
+			if err := s.Delete(k1); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete = %v, want ErrNotFound", err)
+			}
+			// A deleted key may be stored again (the store no longer
+			// holds it, so immutability is not violated).
+			if err := s.Put(k1, make([]byte, 10)); err != nil {
+				t.Fatalf("re-put after delete: %v", err)
+			}
+			if got, err := s.Len(k1); err != nil || got != 10 {
+				t.Fatalf("re-put len = %d, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestDiskStoreDeleteRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Blob: 3, Version: 4, Index: 5}
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.String())
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("chunk file survives delete: %v", err)
+	}
+	// A reloaded store must agree the chunk is gone.
+	s2, err := NewDiskStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, b := s2.Usage(); n != 0 || b != 0 {
+		t.Fatalf("reloaded usage = %d / %d after delete", n, b)
+	}
+}
+
+func TestFaultStoreDeleteDown(t *testing.T) {
+	f := NewFaultStore(NewMemStore(nil))
+	key := Key{Blob: 1}
+	if err := f.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetDown(true)
+	if err := f.Delete(key); !errors.Is(err, ErrDown) {
+		t.Fatalf("delete on down store = %v, want ErrDown", err)
+	}
+	// Accounting still answers (out-of-band bookkeeping).
+	if n, b := f.Usage(); n != 1 || b != 1 {
+		t.Fatalf("usage while down = %d / %d", n, b)
+	}
+	f.SetDown(false)
+	if err := f.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropRefLegacyVsReplicaForms pins the wire compatibility between
+// the legacy fixed 36-byte ref encoding and the variable-length
+// replica form: a replica-less ref always round-trips through exactly
+// 36 bytes; a replicated ref round-trips through 37+4n bytes; and the
+// 36-byte prefix of a replicated encoding decodes as the same data
+// seen by a pre-replication reader (EqualData true, no replicas) —
+// placement is a hint layered on top of the data identity, never part
+// of it.
+func TestPropRefLegacyVsReplicaForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(blob, ver uint64, idx uint32, off, length int64, nReplicas uint8) bool {
+		if off < 0 {
+			off = -off
+		}
+		if length < 0 {
+			length = -length
+		}
+		r := Ref{Key: Key{Blob: blob, Version: ver, Index: idx}, Offset: off, Length: length}
+		for i := 0; i < int(nReplicas); i++ {
+			r.Replicas = append(r.Replicas, rng.Uint32())
+		}
+		b := r.Marshal()
+		if len(r.Replicas) == 0 {
+			if len(b) != 36 {
+				return false
+			}
+		} else if len(b) != 37+4*len(r.Replicas) {
+			return false
+		}
+		got, err := UnmarshalRef(b)
+		if err != nil || !got.EqualData(r) || len(got.Replicas) != len(r.Replicas) {
+			return false
+		}
+		for i := range got.Replicas {
+			if got.Replicas[i] != r.Replicas[i] {
+				return false
+			}
+		}
+		// Legacy view: the fixed 36-byte prefix is a complete,
+		// replica-less encoding of the same data.
+		legacy, err := UnmarshalRef(b[:36])
+		if err != nil || !legacy.EqualData(r) || legacy.Replicas != nil {
+			return false
+		}
+		// EqualData ignores placement: reshuffled replicas compare
+		// equal, a moved byte range does not.
+		shuffled := r
+		shuffled.Replicas = append([]uint32(nil), r.Replicas...)
+		rng.Shuffle(len(shuffled.Replicas), func(i, j int) {
+			shuffled.Replicas[i], shuffled.Replicas[j] = shuffled.Replicas[j], shuffled.Replicas[i]
+		})
+		if !r.EqualData(shuffled) {
+			return false
+		}
+		moved := r
+		moved.Offset++
+		return !r.EqualData(moved)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

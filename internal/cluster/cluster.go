@@ -69,6 +69,28 @@ type Env struct {
 	// kill a machine at the store level — the failure the health
 	// monitor must detect from errors alone.
 	FaultInjection bool
+	// ScrubNewestFirst makes the scrubber walk versions newest-first
+	// (recently written versions are the most likely under-replicated
+	// after a loss); default is the historical oldest-first order.
+	ScrubNewestFirst bool
+
+	// GC enables the version-lifecycle garbage collector (core.Reaper):
+	// dropped versions' exclusively referenced chunks are deleted from
+	// every reachable replica at a bounded rate. Off by default —
+	// versions then behave exactly as before (retained forever unless
+	// the operator drops them, and even then nothing is reclaimed).
+	GC bool
+	// RetainLast, with GC, applies the retention policy automatically:
+	// each blob keeps its newest RetainLast versions (0 = manual drops
+	// only).
+	RetainLast int
+	// GCRate caps chunk deletions per reaper tick (GC; 0 = default 4).
+	GCRate int
+	// GCWalkRate caps retained-ref walk steps per reaper tick (GC;
+	// 0 = default 64).
+	GCWalkRate int
+	// GCQueue bounds the delete queue depth (GC; 0 = 256).
+	GCQueue int
 
 	DataModel iosim.CostModel // per provider / OST
 	MetaModel iosim.CostModel // per metadata shard
@@ -127,6 +149,7 @@ type Versioning struct {
 	Router    *provider.Router
 	Health    *provider.HealthMonitor
 	Healer    *core.Healer
+	Reaper    *core.Reaper
 	Faults    []*chunk.FaultStore
 	env       Env
 }
@@ -162,12 +185,25 @@ func NewVersioning(env Env) (*Versioning, error) {
 			Probation: env.Probation,
 		})
 		router.SetHealthMonitor(v.Health)
+		order := core.OldestFirst
+		if env.ScrubNewestFirst {
+			order = core.NewestFirst
+		}
 		v.Healer = core.NewHealer(router, v.Health, core.HealerConfig{
 			ScrubChunksPerTick: env.ScrubRate,
 			RepairsPerTick:     env.RepairRate,
 			QueueDepth:         env.RepairQueue,
+			Order:              order,
 		})
 		router.SetDegradedHandler(v.Healer.EnqueueRepair)
+	}
+	if env.GC {
+		v.Reaper = core.NewReaper(router, core.ReaperConfig{
+			RetainLast:        env.RetainLast,
+			DeletesPerTick:    env.GCRate,
+			WalkChunksPerTick: env.GCWalkRate,
+			QueueDepth:        env.GCQueue,
+		})
 	}
 	return v, nil
 }
@@ -180,7 +216,8 @@ func (v *Versioning) Services() blob.Services {
 // Backend creates a versioning backend over a new blob sized to cover
 // span bytes (rounded up to a power-of-two multiple of the chunk size).
 // With SelfHeal on, the new blob's published versions join the
-// healer's scrub walk.
+// healer's scrub walk; with GC on, they join the reaper's collection
+// walk too.
 func (v *Versioning) Backend(blobID uint64, span int64) (*core.VersioningBackend, error) {
 	geo := segtree.Geometry{Capacity: CapacityFor(span, v.env.ChunkSize), Page: v.env.ChunkSize}
 	be, err := core.NewVersioning(v.Services(), blobID, geo)
@@ -189,6 +226,9 @@ func (v *Versioning) Backend(blobID uint64, span int64) (*core.VersioningBackend
 	}
 	if v.Healer != nil {
 		v.Healer.RegisterBlob(be.Blob())
+	}
+	if v.Reaper != nil {
+		v.Reaper.RegisterBlob(be.Blob())
 	}
 	return be, nil
 }

@@ -44,12 +44,14 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
 	"repro/internal/provider"
+	"repro/internal/vmanager"
 )
 
 // HealRouter is the slice of the provider router the healer drives:
@@ -64,6 +66,27 @@ type HealRouter interface {
 
 var _ HealRouter = (*provider.Router)(nil)
 
+// ScrubOrder selects which end of the version history a scrub pass
+// starts from.
+type ScrubOrder int
+
+// Scrub orders. OldestFirst is the historical default; NewestFirst
+// prioritizes recently written versions, which are the most likely to
+// be under-replicated right after a provider loss (their writes may
+// have quorum-committed short of R against the dying machine), so the
+// vulnerability window for fresh data shrinks.
+const (
+	OldestFirst ScrubOrder = iota
+	NewestFirst
+)
+
+func (o ScrubOrder) String() string {
+	if o == NewestFirst {
+		return "newest"
+	}
+	return "oldest"
+}
+
 // HealerConfig tunes the control loop. Zero fields select defaults.
 type HealerConfig struct {
 	// ScrubChunksPerTick caps replica verifications per tick (default 64).
@@ -74,6 +97,9 @@ type HealerConfig struct {
 	QueueDepth int
 	// Interval is the background loop period for Run (default 100ms).
 	Interval time.Duration
+	// Order is the scrub walk direction over each blob's versions
+	// (default OldestFirst).
+	Order ScrubOrder
 }
 
 func (c HealerConfig) withDefaults() HealerConfig {
@@ -124,9 +150,9 @@ type Healer struct {
 	health *provider.HealthMonitor // optional
 	cfg    HealerConfig
 
+	queue *keyQueue // bounded dedup repair queue (shared machinery, queue.go)
+
 	mu       sync.Mutex
-	queue    []chunk.Key
-	queued   map[chunk.Key]bool
 	targets  []*blob.Blob
 	pass     []scrubUnit          // remaining units of the current pass
 	refs     []chunk.Key          // refs of the unit being scrubbed
@@ -142,11 +168,12 @@ type Healer struct {
 // (no error-driven detection; scrubbing still works off down flags and
 // probes).
 func NewHealer(router HealRouter, health *provider.HealthMonitor, cfg HealerConfig) *Healer {
+	cfg = cfg.withDefaults()
 	return &Healer{
 		router: router,
 		health: health,
-		cfg:    cfg.withDefaults(),
-		queued: make(map[chunk.Key]bool),
+		cfg:    cfg,
+		queue:  newKeyQueue(cfg.QueueDepth),
 	}
 }
 
@@ -168,23 +195,7 @@ func (h *Healer) RegisterBlob(b *blob.Blob) {
 // Never blocks: duplicates and overflow are dropped (and counted) —
 // see the backpressure model above.
 func (h *Healer) EnqueueRepair(key chunk.Key) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.enqueueLocked(key)
-}
-
-func (h *Healer) enqueueLocked(key chunk.Key) {
-	if h.queued[key] {
-		h.stats.Duplicates++
-		return
-	}
-	if len(h.queue) >= h.cfg.QueueDepth {
-		h.stats.Dropped++
-		return
-	}
-	h.queued[key] = true
-	h.queue = append(h.queue, key)
-	h.stats.Enqueued++
+	h.queue.push(key)
 }
 
 // Tick runs one bounded control-loop iteration: advance health
@@ -204,15 +215,10 @@ func (h *Healer) Tick() {
 // drainRepairs executes up to RepairsPerTick queued re-replications.
 func (h *Healer) drainRepairs() {
 	for i := 0; i < h.cfg.RepairsPerTick; i++ {
-		h.mu.Lock()
-		if len(h.queue) == 0 {
-			h.mu.Unlock()
+		key, ok := h.queue.pop()
+		if !ok {
 			return
 		}
-		key := h.queue[0]
-		h.queue = h.queue[1:]
-		delete(h.queued, key)
-		h.mu.Unlock()
 
 		outcome, _, _ := h.router.RepairChunk(key)
 
@@ -246,10 +252,10 @@ func (h *Healer) scrubStep() {
 		live, want, known := h.router.VerifyReplicas(key)
 		h.mu.Lock()
 		h.stats.ScrubbedChunks++
-		if known && live < want {
-			h.enqueueLocked(key)
-		}
 		h.mu.Unlock()
+		if known && live < want {
+			h.queue.push(key)
+		}
 	}
 }
 
@@ -306,8 +312,14 @@ func (h *Healer) startPassLocked() {
 			h.stats.ScrubErrors++
 			continue
 		}
-		for _, v := range versions {
-			h.pass = append(h.pass, scrubUnit{blob: b, version: v})
+		if h.cfg.Order == NewestFirst {
+			for i := len(versions) - 1; i >= 0; i-- {
+				h.pass = append(h.pass, scrubUnit{blob: b, version: versions[i]})
+			}
+		} else {
+			for _, v := range versions {
+				h.pass = append(h.pass, scrubUnit{blob: b, version: v})
+			}
 		}
 	}
 }
@@ -322,7 +334,12 @@ func (h *Healer) loadUnitLocked(unit scrubUnit) {
 	refs, err := unit.blob.ChunkRefs(unit.version)
 	h.mu.Lock()
 	if err != nil {
-		h.stats.ScrubErrors++
+		// A version dropped by the retention policy between pass
+		// snapshot and resolution is not an error: the lifecycle
+		// removed it from the scrub set on purpose.
+		if !errors.Is(err, vmanager.ErrVersionDropped) {
+			h.stats.ScrubErrors++
+		}
 		return
 	}
 	if h.passSeen == nil {
@@ -358,9 +375,8 @@ func (h *Healer) Pass() HealerStats {
 		h.Tick()
 		h.mu.Lock()
 		passes := h.stats.ScrubPasses - start
-		done := (passes >= 1 && len(h.queue) == 0) || passes >= 3
 		h.mu.Unlock()
-		if done {
+		if (passes >= 1 && h.queue.len() == 0) || passes >= 3 {
 			break
 		}
 	}
@@ -370,18 +386,15 @@ func (h *Healer) Pass() HealerStats {
 // Stats returns a snapshot of the control-loop counters.
 func (h *Healer) Stats() HealerStats {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	st := h.stats
-	st.QueueLen = len(h.queue)
+	h.mu.Unlock()
+	st.Enqueued, st.Duplicates, st.Dropped = h.queue.counters()
+	st.QueueLen = h.queue.len()
 	return st
 }
 
 // QueueLen returns the current repair-queue depth.
-func (h *Healer) QueueLen() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.queue)
-}
+func (h *Healer) QueueLen() int { return h.queue.len() }
 
 // Run starts the background wall-clock loop, ticking every
 // cfg.Interval until Stop. Starting an already running healer is a

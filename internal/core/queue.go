@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/chunk"
+)
+
+// keyQueue is the bounded, deduplicating FIFO of chunk keys shared by
+// the background workers: the Healer drains one as its repair queue,
+// the Reaper as its delete queue. The backpressure contract is
+// identical for both — enqueues of already-queued keys drop as
+// duplicates, enqueues into a full queue drop and are counted, and
+// dropping is safe because each worker's walk re-finds outstanding
+// work on its next pass.
+type keyQueue struct {
+	mu     sync.Mutex
+	depth  int
+	q      []chunk.Key
+	queued map[chunk.Key]bool
+
+	enqueued   int64
+	duplicates int64
+	dropped    int64
+}
+
+func newKeyQueue(depth int) *keyQueue {
+	return &keyQueue{depth: depth, queued: make(map[chunk.Key]bool)}
+}
+
+// push enqueues a key, reporting whether it was accepted.
+func (q *keyQueue) push(key chunk.Key) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.queued[key] {
+		q.duplicates++
+		return false
+	}
+	if len(q.q) >= q.depth {
+		q.dropped++
+		return false
+	}
+	q.queued[key] = true
+	q.q = append(q.q, key)
+	q.enqueued++
+	return true
+}
+
+// pop dequeues the oldest key.
+func (q *keyQueue) pop() (chunk.Key, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.q) == 0 {
+		return chunk.Key{}, false
+	}
+	key := q.q[0]
+	q.q = q.q[1:]
+	delete(q.queued, key)
+	return key, true
+}
+
+// len returns the current queue depth.
+func (q *keyQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.q)
+}
+
+// counters returns the cumulative enqueue accounting.
+func (q *keyQueue) counters() (enqueued, duplicates, dropped int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.enqueued, q.duplicates, q.dropped
+}

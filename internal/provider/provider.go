@@ -14,6 +14,35 @@
 // (Router.Repair). Replication is the durability primitive that lets a
 // deployment lose a storage machine without losing any published
 // snapshot.
+//
+// # Contracts
+//
+// Two contracts introduced by the replication and self-healing work
+// are load-bearing for every caller:
+//
+//   - Manager.AllocateN(n) returns n DISTINCT live providers — a
+//     consecutive window of the live ring, so successive calls stay
+//     round-robin balanced within one — or fails with a typed
+//     *InsufficientProvidersError (errors.Is-matchable against
+//     ErrInsufficientProviders) when fewer than n providers are live.
+//     It never silently repeats a provider: replica sets are always
+//     distinct machines.
+//   - Router.GetFrom (and every other blob.DataService implementation)
+//     returns fresh == nil when the caller's replica hint served the
+//     read. A non-nil fresh set means the hint is stale — the read was
+//     served from authoritative placement, or placement disagrees with
+//     the hint after failover — and the caller should cache fresh in
+//     place of the hint.
+//
+// # Space reclamation
+//
+// The Router is also the deletion point of the version-lifecycle
+// garbage collector: DeleteReplicas removes a chunk no retained
+// snapshot references from every reachable replica and retires its
+// placement entry. Deletion and repair coordinate through a per-chunk
+// in-flight claim, so a chunk being re-replicated is never deleted out
+// from under the repair (and vice versa: a repair never resurrects a
+// chunk the collector is deleting).
 package provider
 
 import (
@@ -423,12 +452,41 @@ type Router struct {
 	// short of R copies). The core Healer wires its repair queue here —
 	// the read-repair path. Must be cheap and non-blocking.
 	onDegraded func(chunk.Key)
+
+	// busy tracks chunks with an in-flight repair or deletion, the
+	// mutual exclusion that keeps GC and self-heal from racing on the
+	// same chunk.
+	busyMu sync.Mutex
+	busy   map[chunk.Key]bool
 }
 
 // NewRouter wraps a manager with a placement map. The zero
 // configuration stores one copy per chunk (no replication).
 func NewRouter(m *Manager) *Router {
-	return &Router{Manager: m, place: placement{m: make(map[chunk.Key][]ID)}}
+	return &Router{
+		Manager: m,
+		place:   placement{m: make(map[chunk.Key][]ID)},
+		busy:    make(map[chunk.Key]bool),
+	}
+}
+
+// claimKey marks a chunk as having an in-flight repair or deletion;
+// false means another worker holds the claim.
+func (r *Router) claimKey(key chunk.Key) bool {
+	r.busyMu.Lock()
+	defer r.busyMu.Unlock()
+	if r.busy[key] {
+		return false
+	}
+	r.busy[key] = true
+	return true
+}
+
+// releaseKey drops an in-flight claim.
+func (r *Router) releaseKey(key chunk.Key) {
+	r.busyMu.Lock()
+	delete(r.busy, key)
+	r.busyMu.Unlock()
 }
 
 // SetHealthMonitor wires a monitor into the router's data path: every
@@ -858,8 +916,15 @@ func (o RepairOutcome) String() string {
 // machines are caught), copies from a survivor onto enough new distinct
 // providers to restore the replication degree, and updates placement.
 // copied reports how many new copies were written. Unknown keys return
-// RepairHealthy (nothing recorded to restore).
+// RepairHealthy (nothing recorded to restore), as does a chunk whose
+// in-flight claim is held by another worker — a concurrent deletion
+// (the chunk is going away; repairing it would resurrect garbage) or
+// a concurrent repair (which will restore it itself).
 func (r *Router) RepairChunk(key chunk.Key) (outcome RepairOutcome, copied int, err error) {
+	if !r.claimKey(key) {
+		return RepairHealthy, 0, nil
+	}
+	defer r.releaseKey(key)
 	want := r.Replicas()
 	ids, ok := r.Locate(key)
 	if !ok {
@@ -956,6 +1021,93 @@ func (r *Router) rereplicate(key chunk.Key, live []ID, want int) ([]ID, error) {
 		out = append(out, p.ID())
 	}
 	return out, nil
+}
+
+// ErrChunkBusy is returned by DeleteReplicas when the chunk has an
+// in-flight repair; the collector retries on its next pass.
+var ErrChunkBusy = errors.New("provider: chunk has an in-flight repair")
+
+// DeleteReplicas removes a chunk from every reachable replica and
+// retires its placement entry — the data-path end of version garbage
+// collection. Only chunks the collector proved unreferenced by every
+// retained snapshot may be deleted.
+//
+// Per replica: a provider flagged down is skipped (its copy is
+// unreachable; like repair, deletion never talks to dead machines —
+// the copy becomes an orphan if the machine revives), a store
+// answering ErrNotFound already lost the copy (success), and a store
+// error leaves the replica recorded so a later pass retries it; every
+// real store attempt reports its outcome to the health monitor, so a
+// silently dead machine discovered by GC traffic trips detection too.
+// When replicas remain the placement entry shrinks to exactly those
+// and a wrapped error reports them; when none remain the entry is
+// removed. A chunk currently being repaired fails with ErrChunkBusy.
+func (r *Router) DeleteReplicas(key chunk.Key) (removed int, bytes int64, err error) {
+	if !r.claimKey(key) {
+		return 0, 0, fmt.Errorf("%w: %s", ErrChunkBusy, key)
+	}
+	defer r.releaseKey(key)
+	ids, ok := r.Locate(key)
+	if !ok {
+		return 0, 0, nil // never stored or already collected
+	}
+	var remaining []ID
+	var failures []error
+	for _, id := range ids {
+		p := r.byID(id)
+		if p == nil || p.Down() {
+			continue // unreachable replica: orphaned, not retried
+		}
+		size, lerr := p.Store().Len(key)
+		if lerr != nil {
+			size = 0
+		}
+		derr := p.Store().Delete(key)
+		r.reportError(id, derr)
+		if derr == nil {
+			removed++
+			bytes += size
+			continue
+		}
+		if errors.Is(derr, chunk.ErrNotFound) {
+			continue // copy already gone
+		}
+		remaining = append(remaining, id)
+		failures = append(failures, fmt.Errorf("provider %d: %w", id, derr))
+	}
+	r.place.mu.Lock()
+	if len(remaining) == 0 {
+		delete(r.place.m, key)
+	} else {
+		r.place.m[key] = remaining
+	}
+	r.place.mu.Unlock()
+	if len(remaining) > 0 {
+		return removed, bytes, fmt.Errorf("provider: %d replicas of %s not deleted: %w",
+			len(remaining), key, errors.Join(failures...))
+	}
+	return removed, bytes, nil
+}
+
+// ProviderUsage is one provider's space accounting.
+type ProviderUsage struct {
+	Provider ID
+	Chunks   int
+	Bytes    int64
+	Down     bool
+}
+
+// Usage reports per-provider chunk counts and stored bytes, in
+// registration order — the operator's view of where space lives and
+// the verification feed for reclamation accounting.
+func (r *Router) Usage() []ProviderUsage {
+	providers := r.Providers()
+	out := make([]ProviderUsage, 0, len(providers))
+	for _, p := range providers {
+		chunks, bytes := p.Store().Usage()
+		out = append(out, ProviderUsage{Provider: p.ID(), Chunks: chunks, Bytes: bytes, Down: p.Down()})
+	}
+	return out
 }
 
 // readFull reads a whole chunk from the first surviving replica able to

@@ -140,6 +140,57 @@ func (s *VMServer) Versions(a *GeometryArgs, reply *[]uint64) error {
 	return nil
 }
 
+// RetainArgs applies the retention policy to one blob.
+type RetainArgs struct {
+	Blob     uint64
+	KeepLast int
+}
+
+// Retain RPC: drop every version older than the newest KeepLast
+// (pinned versions skipped); the reply lists the versions newly
+// dropped.
+func (s *VMServer) Retain(a *RetainArgs, reply *[]uint64) error {
+	dropped, err := s.M.Retain(a.Blob, a.KeepLast)
+	if err != nil {
+		return err
+	}
+	*reply = dropped
+	return nil
+}
+
+// DropVersion RPC: remove one published version from the readable set
+// and queue it for chunk reclamation.
+func (s *VMServer) DropVersion(a *SnapshotArgs, _ *struct{}) error {
+	return s.M.DropVersion(a.Blob, a.Version)
+}
+
+// Pin RPC: protect a version from retention (reader holding it open).
+func (s *VMServer) Pin(a *SnapshotArgs, _ *struct{}) error {
+	return s.M.Pin(a.Blob, a.Version)
+}
+
+// Unpin RPC: release one Pin.
+func (s *VMServer) Unpin(a *SnapshotArgs, _ *struct{}) error {
+	return s.M.Unpin(a.Blob, a.Version)
+}
+
+// GCInfo RPC: the version-lifecycle snapshot a collector pass plans
+// from.
+func (s *VMServer) GCInfo(a *GeometryArgs, reply *vmanager.GCInfo) error {
+	info, err := s.M.GCInfo(a.Blob)
+	if err != nil {
+		return err
+	}
+	*reply = info
+	return nil
+}
+
+// MarkReclaimed RPC: record that a pending version's exclusive chunks
+// were deleted.
+func (s *VMServer) MarkReclaimed(a *SnapshotArgs, _ *struct{}) error {
+	return s.M.MarkReclaimed(a.Blob, a.Version)
+}
+
 // --- Metadata service ---
 
 // MetaServer exposes a metadata.Store over RPC.
@@ -190,11 +241,13 @@ func (s *MetaServer) TryGetNode(a *NodeArgs, reply *NodeReply) error {
 // --- Data service ---
 
 // DataServer exposes a provider.Router over RPC, plus — when the node
-// runs the self-healing loop — its health monitor and healer.
+// runs the self-healing loop — its health monitor and healer, and —
+// when it runs the garbage collector — its reaper.
 type DataServer struct {
 	R *provider.Router
 	H *provider.HealthMonitor // nil unless self-heal enabled
 	E *core.Healer            // nil unless self-heal enabled
+	G *core.Reaper            // nil unless GC enabled
 }
 
 // PutChunkArgs stores one chunk.
@@ -306,16 +359,52 @@ func (s *DataServer) Scrub(a *ScrubArgs, reply *core.HealerStats) error {
 	return nil
 }
 
+// UsageArgs selects the space-accounting snapshot.
+type UsageArgs struct{}
+
+// Usage RPC: per-provider chunk counts and stored bytes (bsctl usage)
+// — the operator's space view and the reclamation verification feed.
+func (s *DataServer) Usage(_ *UsageArgs, reply *[]provider.ProviderUsage) error {
+	*reply = s.R.Usage()
+	return nil
+}
+
+// GCArgs selects the garbage-collection operation.
+type GCArgs struct {
+	// Sync, when set, runs a full collection pass (retention, diff
+	// walk, deletions) before replying; otherwise the current counters
+	// return.
+	Sync bool
+}
+
+// GC RPC: reaper statistics, optionally after forcing a synchronous
+// collection pass (bsctl gc [-sync]). Fails when the node does not run
+// the garbage collector.
+func (s *DataServer) GC(a *GCArgs, reply *core.ReaperStats) error {
+	if s.G == nil {
+		return errors.New("remote: GC not enabled on this node (blobseerd -gc)")
+	}
+	if a.Sync {
+		*reply = s.G.Pass()
+	} else {
+		*reply = s.G.Stats()
+	}
+	return nil
+}
+
 // --- Node (server process) ---
 
 // Roles selects which services a node hosts. Health and Healer ride
-// along with the data role when the node runs the self-healing loop.
+// along with the data role when the node runs the self-healing loop;
+// Reaper rides along when it runs the version-lifecycle garbage
+// collector.
 type Roles struct {
 	VM     *vmanager.Manager
 	Meta   *metadata.Store
 	Data   *provider.Router
 	Health *provider.HealthMonitor
 	Healer *core.Healer
+	Reaper *core.Reaper
 }
 
 // Node is one running storage-service process.
@@ -341,7 +430,7 @@ func Listen(addr string, roles Roles) (*Node, error) {
 		}
 	}
 	if roles.Data != nil {
-		if err := srv.RegisterName(dataService, &DataServer{R: roles.Data, H: roles.Health, E: roles.Healer}); err != nil {
+		if err := srv.RegisterName(dataService, &DataServer{R: roles.Data, H: roles.Health, E: roles.Healer, G: roles.Reaper}); err != nil {
 			return nil, err
 		}
 	}
@@ -479,6 +568,40 @@ func (c *Client) Versions(blobID uint64) ([]uint64, error) {
 	return vs, err
 }
 
+// Retain implements blob.VersionService.
+func (c *Client) Retain(blobID uint64, keepLast int) ([]uint64, error) {
+	var dropped []uint64
+	err := c.vm.Call(vmService+".Retain", &RetainArgs{Blob: blobID, KeepLast: keepLast}, &dropped)
+	return dropped, err
+}
+
+// DropVersion implements blob.VersionService.
+func (c *Client) DropVersion(blobID, v uint64) error {
+	return c.vm.Call(vmService+".DropVersion", &SnapshotArgs{Blob: blobID, Version: v}, &struct{}{})
+}
+
+// Pin implements blob.VersionService.
+func (c *Client) Pin(blobID, v uint64) error {
+	return c.vm.Call(vmService+".Pin", &SnapshotArgs{Blob: blobID, Version: v}, &struct{}{})
+}
+
+// Unpin implements blob.VersionService.
+func (c *Client) Unpin(blobID, v uint64) error {
+	return c.vm.Call(vmService+".Unpin", &SnapshotArgs{Blob: blobID, Version: v}, &struct{}{})
+}
+
+// GCInfo implements blob.VersionService.
+func (c *Client) GCInfo(blobID uint64) (vmanager.GCInfo, error) {
+	var info vmanager.GCInfo
+	err := c.vm.Call(vmService+".GCInfo", &GeometryArgs{Blob: blobID}, &info)
+	return info, err
+}
+
+// MarkReclaimed implements blob.VersionService.
+func (c *Client) MarkReclaimed(blobID, v uint64) error {
+	return c.vm.Call(vmService+".MarkReclaimed", &SnapshotArgs{Blob: blobID, Version: v}, &struct{}{})
+}
+
 // PutNode implements segtree.NodeStore.
 func (c *Client) PutNode(blobID uint64, key segtree.NodeKey, n *segtree.Node) error {
 	return c.meta.Call(metaService+".PutNode", &NodeArgs{Blob: blobID, Key: key, Node: n}, &struct{}{})
@@ -553,5 +676,21 @@ func (c *Client) Health() ([]provider.HealthStatus, error) {
 func (c *Client) Scrub(sync bool) (core.HealerStats, error) {
 	var st core.HealerStats
 	err := c.data.Call(dataService+".Scrub", &ScrubArgs{Sync: sync}, &st)
+	return st, err
+}
+
+// Usage returns the data node's per-provider space accounting.
+func (c *Client) Usage() ([]provider.ProviderUsage, error) {
+	var us []provider.ProviderUsage
+	err := c.data.Call(dataService+".Usage", &UsageArgs{}, &us)
+	return us, err
+}
+
+// GC returns the node's garbage-collector statistics; with sync it
+// first forces a full collection pass (errors when the node does not
+// run the reaper).
+func (c *Client) GC(sync bool) (core.ReaperStats, error) {
+	var st core.ReaperStats
+	err := c.data.Call(dataService+".GC", &GCArgs{Sync: sync}, &st)
 	return st, err
 }

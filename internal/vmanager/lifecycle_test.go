@@ -1,0 +1,222 @@
+package vmanager
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/extent"
+	"repro/internal/iosim"
+	"repro/internal/segtree"
+)
+
+// lifecycleManager publishes n versions of blob 1 and returns the
+// manager (version v's root is a distinct synthetic key).
+func lifecycleManager(t *testing.T, n int) *Manager {
+	t.Helper()
+	m := New(iosim.CostModel{})
+	if err := m.CreateBlob(1, segtree.Geometry{Capacity: 1 << 20, Page: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tk, err := m.AssignTicket(1, extent.List{{Offset: int64(i) * 1024, Length: 512}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := segtree.NodeKey{Version: tk.Version, Offset: 0, Size: 1 << 20}
+		if err := m.Complete(1, tk.Version, root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestDropVersionRules(t *testing.T) {
+	m := lifecycleManager(t, 5)
+
+	if err := m.DropVersion(1, 0); !errors.Is(err, ErrUndroppable) {
+		t.Fatalf("drop v0 = %v, want ErrUndroppable", err)
+	}
+	if err := m.DropVersion(1, 5); !errors.Is(err, ErrUndroppable) {
+		t.Fatalf("drop latest = %v, want ErrUndroppable", err)
+	}
+	if err := m.DropVersion(1, 9); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("drop unassigned = %v, want ErrUnknownVersion", err)
+	}
+	if err := m.DropVersion(2, 1); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("drop unknown blob = %v, want ErrUnknownBlob", err)
+	}
+	if err := m.DropVersion(1, 3); err != nil {
+		t.Fatalf("drop v3: %v", err)
+	}
+	if err := m.DropVersion(1, 3); !errors.Is(err, ErrVersionDropped) {
+		t.Fatalf("double drop = %v, want ErrVersionDropped", err)
+	}
+	// Dropped versions vanish from reads and enumeration.
+	if _, err := m.Snapshot(1, 3); !errors.Is(err, ErrVersionDropped) {
+		t.Fatalf("snapshot of dropped = %v, want ErrVersionDropped", err)
+	}
+	vs, err := m.Versions(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 2, 4, 5}
+	if len(vs) != len(want) {
+		t.Fatalf("versions = %v, want %v", vs, want)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("versions = %v, want %v", vs, want)
+		}
+	}
+	// Untouched versions still read.
+	if _, err := m.Snapshot(1, 2); err != nil {
+		t.Fatalf("snapshot of retained: %v", err)
+	}
+}
+
+func TestPinProtectsFromDropAndRetain(t *testing.T) {
+	m := lifecycleManager(t, 6)
+	if err := m.Pin(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Pin(1, 2); err != nil {
+		t.Fatal(err) // pins are counted
+	}
+	if err := m.DropVersion(1, 2); !errors.Is(err, ErrVersionPinned) {
+		t.Fatalf("drop pinned = %v, want ErrVersionPinned", err)
+	}
+	dropped, err := m.Retain(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dropped {
+		if v == 2 {
+			t.Fatalf("retain dropped pinned version: %v", dropped)
+		}
+	}
+	if want := []uint64{1, 3, 4}; len(dropped) != len(want) {
+		t.Fatalf("retain dropped %v, want %v", dropped, want)
+	}
+	// One unpin is not enough (two pins); two are.
+	if err := m.Unpin(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropVersion(1, 2); !errors.Is(err, ErrVersionPinned) {
+		t.Fatalf("drop once-unpinned = %v, want still pinned", err)
+	}
+	if err := m.Unpin(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropVersion(1, 2); err != nil {
+		t.Fatalf("drop after full unpin: %v", err)
+	}
+	if err := m.Unpin(1, 2); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("unpin unpinned = %v, want ErrNotPinned", err)
+	}
+	// Pinning a dropped version is refused.
+	if err := m.Pin(1, 1); !errors.Is(err, ErrVersionDropped) {
+		t.Fatalf("pin dropped = %v, want ErrVersionDropped", err)
+	}
+}
+
+func TestRetainKeepsNewestAndIsIdempotent(t *testing.T) {
+	m := lifecycleManager(t, 8)
+	dropped, err := m.Retain(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []uint64{1, 2, 3, 4, 5}; len(dropped) != len(want) {
+		t.Fatalf("dropped %v, want %v", dropped, want)
+	}
+	again, err := m.Retain(1, 3)
+	if err != nil || len(again) != 0 {
+		t.Fatalf("second retain = %v, %v; want none", again, err)
+	}
+	if _, err := m.Retain(1, 0); err == nil {
+		t.Fatal("Retain accepted keepLast 0")
+	}
+	// Fewer published versions than keepLast: nothing to do.
+	m2 := lifecycleManager(t, 2)
+	if d, err := m2.Retain(1, 5); err != nil || len(d) != 0 {
+		t.Fatalf("retain beyond history = %v, %v", d, err)
+	}
+}
+
+func TestGCInfoAndMarkReclaimed(t *testing.T) {
+	m := lifecycleManager(t, 5)
+	if err := m.Pin(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Retain(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.GCInfo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Published != 5 {
+		t.Fatalf("published = %d", info.Published)
+	}
+	if want := []uint64{0, 4, 5}; len(info.Retained) != len(want) {
+		t.Fatalf("retained = %v, want %v", info.Retained, want)
+	}
+	if len(info.Pending) != 3 {
+		t.Fatalf("pending = %+v, want v1..v3", info.Pending)
+	}
+	for i, p := range info.Pending {
+		if p.Version != uint64(i+1) {
+			t.Fatalf("pending[%d] = %+v", i, p)
+		}
+		if p.Root.IsZero() {
+			t.Fatalf("pending %d lost its root", p.Version)
+		}
+	}
+	if len(info.Pinned) != 1 || info.Pinned[0] != 4 {
+		t.Fatalf("pinned = %v", info.Pinned)
+	}
+
+	if err := m.MarkReclaimed(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MarkReclaimed(1, 2); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("double reclaim = %v, want ErrNotPending", err)
+	}
+	if err := m.MarkReclaimed(1, 4); !errors.Is(err, ErrNotPending) {
+		t.Fatalf("reclaim retained = %v, want ErrNotPending", err)
+	}
+	info, err = m.GCInfo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Pending) != 2 || info.Reclaimed != 1 {
+		t.Fatalf("after reclaim: pending %+v, reclaimed %d", info.Pending, info.Reclaimed)
+	}
+	// Reclaimed versions stay unreadable.
+	if _, err := m.Snapshot(1, 2); !errors.Is(err, ErrVersionDropped) {
+		t.Fatalf("snapshot of reclaimed = %v", err)
+	}
+}
+
+func TestDropDoesNotDisturbWritePath(t *testing.T) {
+	m := lifecycleManager(t, 4)
+	if err := m.DropVersion(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// New tickets assign, borrow and publish exactly as before: the
+	// vmap still answers with the dropped version (its metadata nodes
+	// survive for borrowing).
+	tk, err := m.AssignTicket(1, extent.List{{Offset: 1024, Length: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Version != 5 {
+		t.Fatalf("ticket = %d, want 5", tk.Version)
+	}
+	if err := m.Complete(1, 5, segtree.NodeKey{Version: 5, Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.LatestPublished(1)
+	if err != nil || info.Version != 5 {
+		t.Fatalf("latest = %+v, %v", info, err)
+	}
+}

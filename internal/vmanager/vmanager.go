@@ -25,6 +25,16 @@
 // order, so borrow answers still reflect exactly the tickets assigned
 // before each request, and snapshots still publish strictly in ticket
 // order.
+//
+// # Version lifecycle
+//
+// Published snapshots are retained by default but no longer immortal:
+// a retention policy (Retain, DropVersion) moves old versions into a
+// dropped state, readers can Pin the snapshot they are using to
+// protect it, and a garbage collector drains the pending-drop set by
+// deleting the chunks only dropped versions reference (GCInfo,
+// MarkReclaimed). See lifecycle.go for the state machine and its
+// protections.
 package vmanager
 
 import (
@@ -72,6 +82,14 @@ type blobState struct {
 	aborted   map[uint64]bool
 	published uint64
 	cond      *sync.Cond // signalled when published advances
+
+	// Version lifecycle (see lifecycle.go): dropped versions are no
+	// longer readable, pending ones await chunk reclamation, pinned
+	// ones are protected from retention.
+	dropped   map[uint64]bool
+	pending   map[uint64]bool
+	pins      map[uint64]int
+	reclaimed uint64
 }
 
 // publishReady advances the published watermark over every completed
@@ -141,6 +159,9 @@ func (m *Manager) CreateBlob(blob uint64, geo segtree.Geometry) error {
 		roots:     map[uint64]segtree.NodeKey{0: {}},
 		completed: map[uint64]bool{0: true},
 		aborted:   map[uint64]bool{},
+		dropped:   map[uint64]bool{},
+		pending:   map[uint64]bool{},
+		pins:      map[uint64]int{},
 	}
 	st.cond = sync.NewCond(&m.mu)
 	m.blobs[blob] = st
@@ -332,11 +353,16 @@ func (m *Manager) Snapshot(blob, v uint64) (SnapshotInfo, error) {
 	if v > st.published {
 		return SnapshotInfo{}, fmt.Errorf("%w: %d (published %d)", ErrUnknownVersion, v, st.published)
 	}
+	if st.dropped[v] {
+		return SnapshotInfo{}, fmt.Errorf("%w: %d", ErrVersionDropped, v)
+	}
 	return SnapshotInfo{Version: v, Root: st.roots[v], Size: st.sizes[v]}, nil
 }
 
-// Versions returns all published versions in order, including the empty
-// snapshot 0.
+// Versions returns all retained published versions in order, including
+// the empty snapshot 0. Versions dropped by the retention policy are
+// excluded — readers, the scrubber and repair all iterate this, so a
+// drop removes a version from every consumer at once.
 func (m *Manager) Versions(blob uint64) ([]uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -346,7 +372,9 @@ func (m *Manager) Versions(blob uint64) ([]uint64, error) {
 	}
 	out := make([]uint64, 0, st.published+1)
 	for v := uint64(0); v <= st.published; v++ {
-		out = append(out, v)
+		if !st.dropped[v] {
+			out = append(out, v)
+		}
 	}
 	return out, nil
 }
