@@ -6,12 +6,14 @@
 // commit, E9 chunk replication (write overhead of R copies and
 // degraded-read throughput with a provider killed mid-run), and E10
 // self-healing (time from an undetected provider-store loss to full
-// re-replication, with and without read-repair), and E11 space
+// re-replication, with and without read-repair), E11 space
 // reclamation (bytes reclaimed by version GC against the drop
 // schedule's exclusive set, the reclamation rate at the configured
 // delete budget, and the foreground write-latency impact of a GC
-// storm). Expect a full run to take a few minutes; -quick shrinks the
-// matrix for smoke runs.
+// storm), and E12 correlated loss (durability and repair time when a
+// whole failure domain dies at once, domain-spread placement vs the
+// flat control). Expect a full run to take a few minutes; -quick
+// shrinks the matrix for smoke runs.
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 		runE9(*quick)
 		runE10(*quick)
 		runE11(*quick)
+		runE12(*quick)
 	}
 	runE6(*quick)
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
@@ -416,6 +419,58 @@ func runE11(quick bool) {
 					fmt.Sprintf("%.1f", float64(res.ExpectedBytes)/(1<<20)),
 					fmt.Sprintf("%.1f", res.ReclaimMBps),
 					fmt.Sprintf("%.2fx", res.Impact),
+				)
+			}
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E12: correlated loss — every provider of one failure domain dies at
+// once (store level, zero operator action). Domain-spread placement
+// keeps the loss to at most one copy per chunk (100% survival) and the
+// healer re-replicates into the surviving domains, restoring the
+// distinct-domain spread; the flat control shows the same kill losing
+// the chunks whose copies happened to be racked together. Durability
+// is free: both modes store exactly R copies.
+func runE12(quick bool) {
+	clients := []int{8, 16}
+	if quick {
+		clients = []int{8}
+	}
+	tbl := bench.NewTable("E12: correlated domain loss (32 regions x 64 KiB, overlap 0.75; 8 providers in 4 domains, one whole domain store-killed)",
+		"clients", "R", "placement", "chunks", "killed", "degraded", "lost", "survived", "detect@tick", "heal ticks", "heal time")
+	for _, n := range clients {
+		spec := workload.OverlapSpec{Clients: n, Regions: 32, RegionSize: 64 << 10, OverlapFraction: 0.75}
+		for _, r := range []int{2, 3} {
+			for _, spread := range []bool{false, true} {
+				res, err := bench.RunDomainLoss(env(), spec, bench.DomainLossOptions{Replicas: r, Domains: 4, Spread: spread})
+				if err != nil {
+					die(err)
+				}
+				mode := "flat"
+				if spread {
+					mode = "domain-spread"
+				}
+				heal, healTime, detect := "-", "data lost", "-"
+				if res.HealTicks >= 0 {
+					heal = fmt.Sprintf("%d", res.HealTicks)
+					healTime = fmt.Sprintf("%.1fms", float64(res.HealElapsed.Microseconds())/1000)
+					detect = fmt.Sprintf("%d", res.DetectTicks)
+				}
+				tbl.AddRow(
+					fmt.Sprintf("%d", n),
+					fmt.Sprintf("%d", r),
+					mode,
+					fmt.Sprintf("%d", res.Chunks),
+					fmt.Sprintf("%d", res.Killed),
+					fmt.Sprintf("%d", res.Degraded),
+					fmt.Sprintf("%d", res.Lost),
+					fmt.Sprintf("%.1f%%", res.SurvivedPct),
+					detect,
+					heal,
+					healTime,
 				)
 			}
 		}

@@ -6,6 +6,8 @@
 //	blobseerd -listen :4002 -roles vm -batch 32 -batch-delay 200us
 //	blobseerd -listen :4003 -roles data -replicas 3 -self-heal -scrub-interval 50ms
 //	blobseerd -listen :4004 -roles vm,meta,data -replicas 2 -retain 8 -gc-rate 8
+//	blobseerd -listen :4005 -roles data -providers 16 -replicas 3 -domains 4
+//	blobseerd -listen :4006 -roles data -replicas 2 -domains rackA,rackB,rackC
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
 // of the three roles, which may be the same node or different nodes.
@@ -16,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -36,6 +40,7 @@ func main() {
 		providers  = flag.Int("providers", 8, "data providers behind this node (data role)")
 		replicas   = flag.Int("replicas", 1, "copies stored per chunk, on distinct providers (data role)")
 		quorum     = flag.Int("quorum", 0, "copies that must land for a write to commit (0 = replicas-1, min 1)")
+		domains    = flag.String("domains", "", "failure domains to rack the providers into: a count (\"4\" -> zone0..zone3) or comma-separated labels; replicas then spread across distinct domains (data role)")
 		shards     = flag.Int("shards", 8, "metadata shards (meta role)")
 		simulate   = flag.Bool("simulate", false, "charge the synthetic cost models")
 		batch      = flag.Int("batch", 1, "version manager group-commit size (vm role; 1 disables)")
@@ -85,7 +90,21 @@ func main() {
 				fmt.Fprintf(os.Stderr, "-quorum %d exceeds -replicas %d\n", *quorum, r)
 				os.Exit(2)
 			}
+			labels, err := domainLabels(*domains, *providers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 			pool, _ := provider.NewPool(*providers, dataModel)
+			for i, label := range labels {
+				if label == "" {
+					continue // flat default; SetDomain refuses untagging
+				}
+				if err := pool.SetDomain(provider.ID(i), label); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+			}
 			roles.Data = provider.NewRouter(pool)
 			roles.Data.SetReplicas(*replicas)
 			roles.Data.SetWriteQuorum(*quorum)
@@ -158,10 +177,69 @@ func main() {
 		fmt.Printf("gc: retain %d, %d deletes per %s tick, queue %d\n",
 			*retain, *gcRate, *gcInterval, *gcQueue)
 	}
+	if roles.Data != nil && *domains != "" {
+		dm := roles.Data.DomainMap()
+		if len(dm) > 1 {
+			var parts []string
+			for label, ids := range dm {
+				parts = append(parts, fmt.Sprintf("%s=%d", label, len(ids)))
+			}
+			sort.Strings(parts)
+			fmt.Printf("failure domains: %s (replicas spread across distinct domains)\n", strings.Join(parts, " "))
+		} else {
+			// One domain is a flat pool: claiming spread here would
+			// promise a correlated-loss guarantee that does not exist.
+			fmt.Println("failure domains: 1 (flat placement — spreading needs at least 2 domains)")
+		}
+	}
 	fmt.Printf("blobseerd serving %s on %s\n", *rolesFlag, node.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+}
+
+// domainLabels resolves the -domains flag into one failure-domain
+// label per provider: a bare count carves the pool into that many
+// contiguous zoneN blocks, a comma-separated list assigns the named
+// domains as contiguous blocks in order, and the empty flag keeps the
+// flat single-domain pool.
+func domainLabels(spec string, n int) ([]string, error) {
+	labels := make([]string, n)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return labels, nil
+	}
+	if count, err := strconv.Atoi(spec); err == nil {
+		if count < 1 || count > n {
+			return nil, fmt.Errorf("-domains %d out of range (1..%d providers)", count, n)
+		}
+		for i := range labels {
+			labels[i] = provider.DomainLabel(i, n, count)
+		}
+		return labels, nil
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("-domains %q contains an empty label", spec)
+		}
+		if seen[name] {
+			// A silently collapsed domain would co-locate replicas on
+			// machines that fail together while claiming spread.
+			return nil, fmt.Errorf("-domains %q names %s twice", spec, name)
+		}
+		seen[name] = true
+		names = append(names, name)
+	}
+	if len(names) > n {
+		return nil, fmt.Errorf("-domains names %d domains for %d providers", len(names), n)
+	}
+	for i := range labels {
+		labels[i] = names[i*len(names)/n]
+	}
+	return labels, nil
 }

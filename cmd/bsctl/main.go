@@ -8,8 +8,9 @@
 //	bsctl versions -blob 1
 //	bsctl down -provider 2        # mark a data provider dead
 //	bsctl up -provider 2          # revive it
+//	bsctl domain -provider 2 -name rackB   # register a provider's failure domain
 //	bsctl repair                  # re-replicate chunks that lost copies
-//	bsctl health                  # failure-detector state per provider
+//	bsctl health                  # failure-detector state, grouped by domain, plus the spread audit
 //	bsctl scrub [-sync]           # healer stats; -sync forces a full pass
 //	bsctl retain -blob 1 -keep 8  # drop all but the newest 8 versions
 //	bsctl drop -blob 1 -version 3 # drop one version
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -51,7 +53,8 @@ func main() {
 	extents := sub.String("extents", "", "comma-separated off:len pairs")
 	data := sub.String("data", "", "payload for write (repeated/truncated to fit)")
 	version := sub.Uint64("version", 0, "snapshot version for read (0 = latest)")
-	providerID := sub.Int("provider", -1, "data provider id (down/up)")
+	providerID := sub.Int("provider", -1, "data provider id (down/up/domain)")
+	domainName := sub.String("name", "", "failure-domain label (domain)")
 	syncScrub := sub.Bool("sync", false, "run a full pass before reporting (scrub/gc)")
 	keep := sub.Int("keep", 0, "versions to retain (retain)")
 	if err := sub.Parse(flag.Args()[1:]); err != nil {
@@ -146,13 +149,69 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// Group by failure domain: a domain losing machines together is
+		// the loss unit the spread placement defends against.
+		var domains []string
+		byDomain := map[string][]provider.HealthStatus{}
 		for _, st := range sts {
-			line := fmt.Sprintf("provider %-3d %-10s fail %-6d ok %-6d consec %d",
-				st.Provider, st.State, st.Failures, st.Successes, st.Consec)
-			if st.State == provider.Down || st.State == provider.Probation {
-				line += fmt.Sprintf("  down since %s", st.DownSince.Format("15:04:05.000"))
+			if _, ok := byDomain[st.Domain]; !ok {
+				domains = append(domains, st.Domain)
 			}
-			fmt.Println(line)
+			byDomain[st.Domain] = append(byDomain[st.Domain], st)
+		}
+		sort.Strings(domains)
+		for _, d := range domains {
+			group := byDomain[d]
+			live := 0
+			for _, st := range group {
+				if st.State == provider.Live || st.State == provider.Suspect {
+					live++
+				}
+			}
+			label := d
+			if label == "" {
+				label = "(flat)"
+			}
+			fmt.Printf("domain %-8s %d/%d live\n", label, live, len(group))
+			for _, st := range group {
+				line := fmt.Sprintf("  provider %-3d %-10s fail %-6d ok %-6d consec %d",
+					st.Provider, st.State, st.Failures, st.Successes, st.Consec)
+				if st.State == provider.Down || st.State == provider.Probation {
+					line += fmt.Sprintf("  down since %s", st.DownSince.Format("15:04:05.000"))
+				}
+				fmt.Println(line)
+			}
+		}
+		// Spread audit: chunks whose live replicas share one failure
+		// domain are one correlated loss from being gone. On a flat or
+		// partially tagged pool the audit is inert — say so rather
+		// than claiming a guarantee that was never checked.
+		tagged := len(sts) > 0
+		for _, st := range sts {
+			if st.Domain == "" {
+				tagged = false
+				break
+			}
+		}
+		if !tagged || len(byDomain) < 2 {
+			fmt.Println("spread audit: n/a (flat or partially tagged pool — domain spread inactive)")
+			break
+		}
+		violations, err := cli.SpreadAudit()
+		if err != nil {
+			fail(err)
+		}
+		if len(violations) == 0 {
+			fmt.Println("spread audit: clean (no chunk's live replicas share a failure domain)")
+		} else {
+			fmt.Printf("spread audit: %d chunks EXPOSED to a single-domain loss:\n", len(violations))
+			for i, key := range violations {
+				if i == 10 {
+					fmt.Printf("  ... and %d more\n", len(violations)-i)
+					break
+				}
+				fmt.Printf("  %s\n", key)
+			}
 		}
 
 	case "scrub":
@@ -220,20 +279,46 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		var domains []string
+		byDomain := map[string][]provider.ProviderUsage{}
+		for _, u := range us {
+			if _, ok := byDomain[u.Domain]; !ok {
+				domains = append(domains, u.Domain)
+			}
+			byDomain[u.Domain] = append(byDomain[u.Domain], u)
+		}
+		sort.Strings(domains)
 		var chunks int
 		var bytes int64
-		for _, u := range us {
-			state := "live"
-			if u.Down {
-				state = "down"
+		for _, d := range domains {
+			var dChunks int
+			var dBytes int64
+			for _, u := range byDomain[d] {
+				state := "live"
+				if u.Down {
+					state = "down"
+				}
+				label := u.Domain
+				if label == "" {
+					label = "-"
+				}
+				fmt.Printf("provider %-3d %-8s %-5s %6d chunks %12d bytes\n", u.Provider, label, state, u.Chunks, u.Bytes)
+				if !u.Down {
+					dChunks += u.Chunks
+					dBytes += u.Bytes
+				}
 			}
-			fmt.Printf("provider %-3d %-5s %6d chunks %12d bytes\n", u.Provider, state, u.Chunks, u.Bytes)
-			if !u.Down {
-				chunks += u.Chunks
-				bytes += u.Bytes
+			if len(domains) > 1 {
+				label := d
+				if label == "" {
+					label = "-"
+				}
+				fmt.Printf("domain %-8s (live)  %6d chunks %12d bytes\n", label, dChunks, dBytes)
 			}
+			chunks += dChunks
+			bytes += dBytes
 		}
-		fmt.Printf("total (live)     %6d chunks %12d bytes\n", chunks, bytes)
+		fmt.Printf("total (live)            %6d chunks %12d bytes\n", chunks, bytes)
 
 	case "down", "up":
 		if *providerID < 0 {
@@ -243,6 +328,15 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("provider %d marked %s\n", *providerID, cmd)
+
+	case "domain":
+		if *providerID < 0 || *domainName == "" {
+			fail(fmt.Errorf("bsctl: domain requires -provider and -name"))
+		}
+		if err := cli.SetProviderDomain(provider.ID(*providerID), *domainName); err != nil {
+			fail(err)
+		}
+		fmt.Printf("provider %d registered in failure domain %s\n", *providerID, *domainName)
 
 	default:
 		usage()
@@ -287,6 +381,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|repair|health|scrub|down|up [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|repair|health|scrub|down|up|domain [flags]")
 	os.Exit(2)
 }

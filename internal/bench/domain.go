@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/extent"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+// DomainLossOptions tunes RunDomainLoss.
+type DomainLossOptions struct {
+	// Replicas is the replication degree R (>= 2).
+	Replicas int
+	// Domains is the failure-domain count the pool is split into (and
+	// the loss unit: the whole first domain dies). Default 4.
+	Domains int
+	// Spread places replicas domain-aware (cluster.Env.Domains); false
+	// is the flat control — same pool, same kill, placement blind to
+	// the domain boundaries.
+	Spread bool
+	// ScrubRate / RepairRate bound healer work per tick (defaults 16/4,
+	// matching E10 so repair-time cells are comparable).
+	ScrubRate, RepairRate int
+	// MaxTicks bounds the healing loop (default 2000).
+	MaxTicks int
+}
+
+// DomainLossResult is one measured correlated-loss cell: how much
+// published data survives the loss of one whole failure domain, and —
+// when everything survives — how long the self-healing loop takes to
+// restore full replication and full domain spread.
+type DomainLossResult struct {
+	Replicas int
+	Domains  int
+	Spread   bool
+	Chunks   int // chunks the placement map tracks
+	Killed   int // providers lost (the whole first domain)
+	Degraded int // chunks that lost at least one copy
+	Lost     int // chunks that lost EVERY copy (data loss)
+	// SurvivedPct is the fraction of chunks with at least one
+	// surviving copy — the durability headline.
+	SurvivedPct float64
+	DetectTicks int // ticks until every victim was marked down (-1: not healed)
+	HealTicks   int // ticks until full count AND spread were restored (-1: data lost, unhealable)
+	HealElapsed time.Duration
+	SpreadFound int64 // spread violations the scrubber repaired along the way
+	Stats       core.HealerStats
+}
+
+// RunDomainLoss measures experiment E12: N clients write an overlapped
+// workload at replication degree R over a provider pool racked into
+// failure domains, then every provider of one domain dies at once
+// (store level, zero operator action). With Spread on, placement puts
+// each chunk's replicas in distinct domains, so the correlated loss
+// costs at most one copy per chunk: nothing is lost and the healer
+// re-replicates into the surviving domains. The flat control run shows
+// what the same loss does to domain-blind placement: chunks whose
+// copies were co-located inside the dead domain are gone — durability
+// bought by spread at zero extra storage cost.
+func RunDomainLoss(env cluster.Env, spec workload.OverlapSpec, opts DomainLossOptions) (DomainLossResult, error) {
+	if err := spec.Validate(); err != nil {
+		return DomainLossResult{}, err
+	}
+	if opts.Replicas < 2 {
+		return DomainLossResult{}, fmt.Errorf("bench: domain loss needs R >= 2, got %d", opts.Replicas)
+	}
+	if opts.Domains <= 0 {
+		opts.Domains = 4
+	}
+	if opts.ScrubRate <= 0 {
+		opts.ScrubRate = 16
+	}
+	if opts.RepairRate <= 0 {
+		opts.RepairRate = 4
+	}
+	if opts.MaxTicks <= 0 {
+		opts.MaxTicks = 2000
+	}
+	env.Replicas = opts.Replicas
+	if opts.Spread {
+		env.Domains = opts.Domains
+	}
+	env.SelfHeal = true
+	env.FaultInjection = true
+	env.FailThreshold = 2
+	env.ScrubRate = opts.ScrubRate
+	env.RepairRate = opts.RepairRate
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		return DomainLossResult{}, err
+	}
+	be, err := svc.Backend(1, spec.FileSpan())
+	if err != nil {
+		return DomainLossResult{}, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+	res := DomainLossResult{Replicas: opts.Replicas, Domains: opts.Domains, Spread: opts.Spread}
+
+	// Virtual clock for probation timing: one tick = one second.
+	var vsec atomic.Int64
+	svc.Health.SetClock(func() time.Time { return time.Unix(vsec.Load(), 0) })
+
+	// Write phase: the replicated workload.
+	errs := make([]error, spec.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exts := spec.ExtentsFor(w)
+			buf := make([]byte, exts.TotalLength())
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			vec, err := extent.NewVec(exts, buf)
+			if err == nil {
+				err = d.WriteList(vec, true)
+			}
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	// Kill every STORE in the first domain block — flags stay live, so
+	// the system must notice from errors. The flat control kills the
+	// same machines: only placement differs between the modes.
+	var victims []provider.ID
+	for i := 0; i < env.Providers; i++ {
+		if provider.DomainLabel(i, env.Providers, opts.Domains) == "zone0" {
+			victims = append(victims, provider.ID(i))
+			svc.Faults[i].SetDown(true)
+		}
+	}
+	res.Killed = len(victims)
+	dead := make(map[provider.ID]bool, len(victims))
+	for _, id := range victims {
+		dead[id] = true
+	}
+
+	// Durability accounting from placement records alone (probing
+	// stores here would feed the detector and contaminate the
+	// detection measurement).
+	keys := svc.Router.Keys()
+	res.Chunks = len(keys)
+	for _, key := range keys {
+		ids, _ := svc.Router.Locate(key)
+		hit, survivors := 0, 0
+		for _, id := range ids {
+			if dead[id] {
+				hit++
+			} else {
+				survivors++
+			}
+		}
+		if hit > 0 {
+			res.Degraded++
+		}
+		if survivors == 0 {
+			res.Lost++
+		}
+	}
+	if res.Chunks > 0 {
+		res.SurvivedPct = 100 * float64(res.Chunks-res.Lost) / float64(res.Chunks)
+	}
+	if res.Lost > 0 {
+		// Data is gone; no amount of healing brings it back. The cell
+		// reports the exposure instead of a repair time.
+		res.DetectTicks, res.HealTicks = -1, -1
+		return res, nil
+	}
+
+	// Healing loop: tick until every victim is detected, every chunk
+	// is back at full degree AND full domain spread, counting virtual
+	// time.
+	detect := -1
+	res.DetectTicks, res.HealTicks = -1, -1
+	allDown := func() bool {
+		for _, id := range victims {
+			if svc.Health.State(id) != provider.Down {
+				return false
+			}
+		}
+		return true
+	}
+	start := time.Now()
+	for t := 1; t <= opts.MaxTicks; t++ {
+		vsec.Add(1)
+		svc.Healer.Tick()
+		if detect < 0 && allDown() {
+			detect = t
+		}
+		if svc.Healer.QueueLen() == 0 && svc.Router.UnderReplicated() == 0 && len(svc.Router.SpreadAudit()) == 0 {
+			res.HealTicks = t
+			break
+		}
+	}
+	res.HealElapsed = time.Since(start)
+	res.DetectTicks = detect
+	res.Stats = svc.Healer.Stats()
+	res.SpreadFound = res.Stats.SpreadFound
+	if res.HealTicks < 0 {
+		return res, fmt.Errorf("bench: domain loss did not heal in %d ticks (spread=%v): %+v", opts.MaxTicks, opts.Spread, res.Stats)
+	}
+	// Durability check: every published version must read back.
+	if _, err := be.Scrub(); err != nil {
+		return res, fmt.Errorf("bench: scrub after domain-loss heal: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestRunDomainLoss smoke-tests E12 unmetered: with domain-spread
+// placement the loss of a whole domain loses NOTHING and heals; the
+// flat control at R=2 demonstrably loses chunks — the contrast the
+// experiment exists to show.
+func TestRunDomainLoss(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 4, Regions: 16, RegionSize: 8 << 10, OverlapFraction: 0.5}
+
+	spreadRes, err := RunDomainLoss(cluster.Default(), spec, DomainLossOptions{Replicas: 2, Domains: 4, Spread: true})
+	if err != nil {
+		t.Fatalf("spread: %v", err)
+	}
+	if spreadRes.Lost != 0 || spreadRes.SurvivedPct != 100 {
+		t.Fatalf("spread placement lost data to a single-domain kill: %+v", spreadRes)
+	}
+	if spreadRes.Degraded == 0 {
+		t.Fatalf("domain kill degraded nothing: %+v", spreadRes)
+	}
+	if spreadRes.HealTicks <= 0 || spreadRes.DetectTicks <= 0 {
+		t.Fatalf("spread mode did not detect+heal: %+v", spreadRes)
+	}
+
+	flatRes, err := RunDomainLoss(cluster.Default(), spec, DomainLossOptions{Replicas: 2, Domains: 4, Spread: false})
+	if err != nil {
+		t.Fatalf("flat: %v", err)
+	}
+	if flatRes.Lost == 0 {
+		t.Fatalf("flat control lost nothing — the exposure E12 contrasts against did not occur: %+v", flatRes)
+	}
+	if flatRes.HealTicks != -1 {
+		t.Fatalf("flat control with lost chunks reported a heal time: %+v", flatRes)
+	}
+}
+
+// TestRunDomainLossValidation: R=1 has no correlated-loss story.
+func TestRunDomainLossValidation(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 2, Regions: 4, RegionSize: 4 << 10, OverlapFraction: 0.5}
+	if _, err := RunDomainLoss(cluster.Default(), spec, DomainLossOptions{Replicas: 1}); err == nil {
+		t.Fatal("RunDomainLoss accepted R=1")
+	}
+}

@@ -39,6 +39,14 @@ type Env struct {
 	// layer: every chunk is stored on R distinct providers. 0 or 1
 	// means no replication. Must not exceed Providers.
 	Replicas int
+	// Domains splits the data providers into that many failure domains
+	// (racks/zones): equal contiguous blocks labeled zone0, zone1, ...
+	// Replica placement then spreads each chunk's R copies across
+	// distinct domains — with Domains >= Replicas the spread is an
+	// invariant (writes fail typed rather than co-locate), so losing
+	// one whole domain never loses a published byte. 0 or 1 keeps the
+	// flat single-domain pool of earlier PRs.
+	Domains int
 	// WriteQuorum is how many of the R copies must land for a write to
 	// commit. 0 selects the default of R-1 (minimum 1), which lets a
 	// write survive the mid-flight loss of one provider.
@@ -133,6 +141,12 @@ func (e Env) Validate() error {
 	if e.Replicas > e.Providers {
 		return fmt.Errorf("cluster: %d replicas exceed %d providers", e.Replicas, e.Providers)
 	}
+	if e.Domains < 0 {
+		return fmt.Errorf("cluster: negative domain count %d", e.Domains)
+	}
+	if e.Domains > e.Providers {
+		return fmt.Errorf("cluster: %d domains exceed %d providers", e.Domains, e.Providers)
+	}
 	if r := max(e.Replicas, 1); e.WriteQuorum > r {
 		return fmt.Errorf("cluster: write quorum %d exceeds %d replicas", e.WriteQuorum, r)
 	}
@@ -162,9 +176,9 @@ func NewVersioning(env Env) (*Versioning, error) {
 	var mgr *provider.Manager
 	var faults []*chunk.FaultStore
 	if env.FaultInjection {
-		mgr, faults = provider.NewFaultPool(env.Providers, env.DataModel)
+		mgr, faults = provider.NewFaultPoolInDomains(env.Providers, env.Domains, env.DataModel)
 	} else {
-		mgr, _ = provider.NewPool(env.Providers, env.DataModel)
+		mgr, _ = provider.NewPoolInDomains(env.Providers, env.Domains, env.DataModel)
 	}
 	vm := vmanager.New(env.CtrlModel)
 	vm.SetBatching(env.VMBatch)

@@ -7,8 +7,11 @@
 //   - The Scrub walk: the healer iterates every published version of
 //     every registered blob (falling back to the router's placement map
 //     when it has no blob handles), verifying each referenced chunk's
-//     replica set with store probes. Probe errors feed the provider
-//     HealthMonitor, so scrub traffic itself trips failure detection.
+//     replica set with store probes — both the replica COUNT and the
+//     failure-domain SPREAD (copies co-located in one domain while a
+//     spare live domain exists are repair work too). Probe errors feed
+//     the provider HealthMonitor, so scrub traffic itself trips failure
+//     detection.
 //   - Read-repair: a degraded read (failover was needed) or a write
 //     that quorum-committed short of R copies reports the exact chunk
 //     through the router's degraded handler.
@@ -65,6 +68,23 @@ type HealRouter interface {
 }
 
 var _ HealRouter = (*provider.Router)(nil)
+
+// spreadChecker is the optional slice of the router the scrubber uses
+// to police placement quality beyond the live count: a chunk at full
+// live degree is still enqueued when its copies co-locate in fewer
+// failure domains than the pool could spread them over, or when its
+// RECORDED set diverges from the degree (stale dead entries,
+// above-degree leftovers of a failed spread-move eviction — both
+// invisible to the probe-based live count). *provider.Router
+// implements it; the check is flag-based and cheap (no store probes),
+// with the live-domain count computed once per scrub step rather than
+// per chunk.
+type spreadChecker interface {
+	LiveDomains() int
+	PlacementSuspect(key chunk.Key, liveDomains int) bool
+}
+
+var _ spreadChecker = (*provider.Router)(nil)
 
 // ScrubOrder selects which end of the version history a scrub pass
 // starts from.
@@ -131,6 +151,7 @@ type HealerStats struct {
 	RepairFailed   int64 // repair attempts that failed or stayed partial
 	RepairHealthy  int64 // queued chunks found already at full degree
 	Lost           int64 // chunks with no surviving replica
+	SpreadFound    int64 // full-live-count chunks accepted into the queue for a suspect placement (spread violation, stale entry, above-degree set)
 	QueueLen       int   // current queue length
 }
 
@@ -240,8 +261,16 @@ func (h *Healer) drainRepairs() {
 }
 
 // scrubStep verifies up to ScrubChunksPerTick chunk refs, refilling the
-// pass work list as needed.
+// pass work list as needed. Beyond the replica count, a chunk whose
+// copies co-locate in one failure domain while a spare domain exists
+// is enqueued too — repair restores the spread invariant, not just the
+// degree.
 func (h *Healer) scrubStep() {
+	liveDoms := 0
+	spread, _ := h.router.(spreadChecker)
+	if spread != nil {
+		liveDoms = spread.LiveDomains()
+	}
 	budget := h.cfg.ScrubChunksPerTick
 	for budget > 0 {
 		key, ok := h.nextRef()
@@ -253,8 +282,20 @@ func (h *Healer) scrubStep() {
 		h.mu.Lock()
 		h.stats.ScrubbedChunks++
 		h.mu.Unlock()
-		if known && live < want {
+		if !known {
+			continue
+		}
+		if live != want {
+			// Below degree: lost copies to restore. Above degree: an
+			// extra copy left by a spread move whose eviction failed,
+			// for RepairChunk to trim.
 			h.queue.push(key)
+			continue
+		}
+		if liveDoms > 1 && spread.PlacementSuspect(key, liveDoms) && h.queue.push(key) {
+			h.mu.Lock()
+			h.stats.SpreadFound++
+			h.mu.Unlock()
 		}
 	}
 }

@@ -91,6 +91,7 @@ func (c HealthConfig) withDefaults() HealthConfig {
 // HealthStatus is the externally visible health record of one provider.
 type HealthStatus struct {
 	Provider  ID
+	Domain    string // failure-domain label ("" on a flat pool)
 	State     HealthState
 	Consec    int   // consecutive failures observed (Live/Suspect)
 	Failures  int64 // total failures reported
@@ -370,7 +371,7 @@ func (h *HealthMonitor) Snapshot() []HealthStatus {
 	defer h.mu.Unlock()
 	out := make([]HealthStatus, 0, len(provs))
 	for _, p := range provs {
-		st := HealthStatus{Provider: p.ID(), State: Live}
+		st := HealthStatus{Provider: p.ID(), Domain: p.Domain(), State: Live}
 		if e, ok := h.entries[p.ID()]; ok {
 			st.State = e.state
 			st.Consec = e.consec

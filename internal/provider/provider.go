@@ -17,16 +17,36 @@
 //
 // # Contracts
 //
-// Two contracts introduced by the replication and self-healing work
-// are load-bearing for every caller:
+// Three contracts introduced by the replication, self-healing and
+// failure-domain work are load-bearing for every caller:
 //
-//   - Manager.AllocateN(n) returns n DISTINCT live providers — a
-//     consecutive window of the live ring, so successive calls stay
-//     round-robin balanced within one — or fails with a typed
-//     *InsufficientProvidersError (errors.Is-matchable against
-//     ErrInsufficientProviders) when fewer than n providers are live.
-//     It never silently repeats a provider: replica sets are always
-//     distinct machines.
+//   - Manager.AllocateN(n) returns n DISTINCT live providers — on a
+//     flat (single-domain) pool a consecutive window of the live ring,
+//     so successive calls stay round-robin balanced within one — or
+//     fails with a typed *InsufficientProvidersError
+//     (errors.Is-matchable against ErrInsufficientProviders) when
+//     fewer than n providers are live. It never silently repeats a
+//     provider: replica sets are always distinct machines.
+//   - Domain spread: every provider carries a failure-domain label
+//     (rack, zone; NewInDomain/SetDomain). When the pool is FULLY
+//     tagged (no provider left in the "" default domain) with at least
+//     n distinct domains, AllocateN(n) returns providers in n DISTINCT
+//     domains — correlated loss of one whole domain can never take out
+//     every replica of a chunk — or fails with a typed
+//     *InsufficientDomainsError (errors.Is-matchable against
+//     ErrInsufficientDomains) when fewer than n domains currently have
+//     a live provider. It never silently co-locates. When the fully
+//     tagged pool has FEWER than n domains, allocation is documented
+//     best-effort instead: replicas round-robin across the live
+//     domains, per-call domain counts balanced within one wherever
+//     capacity allows. A partially tagged pool (topology in
+//     transition) stays FLAT — placement, audit and spread repair all
+//     ignore domains until the last provider is tagged, so one retag
+//     cannot funnel data onto the tagged minority. Repair restores
+//     this spread, not just the replica count: re-replication places
+//     new copies in domains the survivors do not cover, and a chunk at
+//     full degree whose live replicas co-locate while a spare live
+//     domain exists is re-spread by moving one copy (RepairChunk).
 //   - Router.GetFrom (and every other blob.DataService implementation)
 //     returns fresh == nil when the caller's replica hint served the
 //     read. A non-nil fresh set means the hint is stale — the read was
@@ -62,22 +82,50 @@ type ID int
 // meter, when present, lives inside the store (see chunk.NewMemStore),
 // so Provider itself only tracks allocation counts. downEpoch counts
 // SetDown transitions so the health monitor can tell whether an
-// administrator touched the flag since the monitor last did.
+// administrator touched the flag since the monitor last did. domain is
+// the failure-domain label (rack, zone) allocation spreads replicas
+// across; the empty label is the single default domain of a flat pool.
 type Provider struct {
 	id        ID
 	store     chunk.Store
 	allocated atomic.Int64
 	down      atomic.Bool
 	downEpoch atomic.Int64
+
+	domainMu sync.RWMutex
+	domain   string
 }
 
-// New builds a provider around the given store.
+// New builds a provider around the given store, in the default (flat)
+// failure domain.
 func New(id ID, store chunk.Store) *Provider {
 	return &Provider{id: id, store: store}
 }
 
+// NewInDomain builds a provider tagged with a failure-domain label.
+func NewInDomain(id ID, store chunk.Store, domain string) *Provider {
+	p := New(id, store)
+	p.domain = domain
+	return p
+}
+
 // ID returns the provider's identity.
 func (p *Provider) ID() ID { return p.id }
+
+// Domain returns the provider's failure-domain label ("" = the default
+// domain of a flat pool).
+func (p *Provider) Domain() string {
+	p.domainMu.RLock()
+	defer p.domainMu.RUnlock()
+	return p.domain
+}
+
+// setDomain retags the provider (Manager.SetDomain).
+func (p *Provider) setDomain(domain string) {
+	p.domainMu.Lock()
+	p.domain = domain
+	p.domainMu.Unlock()
+}
 
 // Store exposes the underlying chunk store.
 func (p *Provider) Store() chunk.Store { return p.store }
@@ -117,6 +165,32 @@ func (e *InsufficientProvidersError) Is(target error) bool {
 	return target == ErrInsufficientProviders
 }
 
+// ErrInsufficientDomains is the sentinel matched (via errors.Is) by
+// InsufficientDomainsError.
+var ErrInsufficientDomains = errors.New("provider: not enough live failure domains")
+
+// InsufficientDomainsError is returned by AllocateN when the pool is
+// configured with at least Want distinct failure domains — so n-way
+// domain spread is this deployment's durability promise — but fewer
+// than Want domains currently have a live provider. Allocation fails
+// typed rather than silently co-locating replicas in a shared domain.
+type InsufficientDomainsError struct {
+	Want       int // distinct domains the replica set must span
+	Live       int // domains with at least one live provider
+	Configured int // distinct domains among all registered providers
+}
+
+// Error implements error.
+func (e *InsufficientDomainsError) Error() string {
+	return fmt.Sprintf("provider: need %d distinct live failure domains, only %d of %d configured domains live",
+		e.Want, e.Live, e.Configured)
+}
+
+// Is matches the ErrInsufficientDomains sentinel.
+func (e *InsufficientDomainsError) Is(target error) bool {
+	return target == ErrInsufficientDomains
+}
+
 // Policy selects the allocation strategy for new chunks.
 type Policy int
 
@@ -154,6 +228,14 @@ type Manager struct {
 	next      atomic.Uint64
 	policy    Policy
 	rnd       func() uint64
+
+	// domMu guards the cached domainPromise result, recomputed only
+	// when Register/SetDomain change the topology — AllocateN sits on
+	// the per-chunk write hot path and must not rescan the pool.
+	domMu     sync.Mutex
+	domCached bool
+	domCount  int
+	domFull   bool
 }
 
 // NewManager builds an empty round-robin manager.
@@ -192,12 +274,34 @@ func (m *Manager) Policy() Policy {
 // its own exclusive meter using the given cost model. It returns the
 // manager and the meters for inspection.
 func NewPool(n int, model iosim.CostModel) (*Manager, []*iosim.Meter) {
+	return NewPoolInDomains(n, 0, model)
+}
+
+// DomainLabel names the failure domain of provider i in a pool of n
+// providers split into the given number of equal contiguous blocks
+// ("zone0", "zone1", ...). Fewer than two domains yields the flat
+// default domain "".
+func DomainLabel(i, n, domains int) string {
+	if domains < 2 || n < 1 {
+		return ""
+	}
+	if domains > n {
+		domains = n
+	}
+	return fmt.Sprintf("zone%d", i*domains/n)
+}
+
+// NewPoolInDomains is NewPool with the providers split into the given
+// number of failure domains — contiguous blocks labeled per
+// DomainLabel, modeling machines racked together. domains <= 1 builds
+// the flat single-domain pool.
+func NewPoolInDomains(n, domains int, model iosim.CostModel) (*Manager, []*iosim.Meter) {
 	m := NewManager()
 	meters := make([]*iosim.Meter, 0, n)
 	for i := 0; i < n; i++ {
 		meter := iosim.NewMeter(model, true)
 		meters = append(meters, meter)
-		m.Register(New(ID(i), chunk.NewMemStore(meter)))
+		m.Register(NewInDomain(ID(i), chunk.NewMemStore(meter), DomainLabel(i, n, domains)))
 	}
 	return m, meters
 }
@@ -208,12 +312,18 @@ func NewPool(n int, model iosim.CostModel) (*Manager, []*iosim.Meter) {
 // error-driven detection must notice without an administrative
 // SetDown. Returns the manager and the fault stores by provider index.
 func NewFaultPool(n int, model iosim.CostModel) (*Manager, []*chunk.FaultStore) {
+	return NewFaultPoolInDomains(n, 0, model)
+}
+
+// NewFaultPoolInDomains is NewFaultPool with the providers split into
+// failure domains exactly as NewPoolInDomains does.
+func NewFaultPoolInDomains(n, domains int, model iosim.CostModel) (*Manager, []*chunk.FaultStore) {
 	m := NewManager()
 	faults := make([]*chunk.FaultStore, 0, n)
 	for i := 0; i < n; i++ {
 		fs := chunk.NewFaultStore(chunk.NewMemStore(iosim.NewMeter(model, true)))
 		faults = append(faults, fs)
-		m.Register(New(ID(i), fs))
+		m.Register(NewInDomain(ID(i), fs, DomainLabel(i, n, domains)))
 	}
 	return m, faults
 }
@@ -221,8 +331,17 @@ func NewFaultPool(n int, model iosim.CostModel) (*Manager, []*chunk.FaultStore) 
 // Register adds a provider to the pool.
 func (m *Manager) Register(p *Provider) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.providers = append(m.providers, p)
+	m.mu.Unlock()
+	m.invalidateDomains()
+}
+
+// invalidateDomains drops the cached domainPromise result after a
+// topology change.
+func (m *Manager) invalidateDomains() {
+	m.domMu.Lock()
+	m.domCached = false
+	m.domMu.Unlock()
 }
 
 // Count returns the number of registered providers.
@@ -287,6 +406,83 @@ func (m *Manager) downEpochOf(id ID) int64 {
 		return p.downEpoch.Load()
 	}
 	return 0
+}
+
+// SetDomain retags a provider's failure domain — the administrative
+// registration path (bsctl domain / the register-with-domain RPC).
+// Already-placed chunks keep their placement; the scrubber's spread
+// audit re-finds any replica set the new topology leaves co-located
+// and repair re-spreads it. The empty label is refused: untagging a
+// provider would silently demote the whole pool to flat placement
+// (see domainPromise) while operators believe the spread guarantee
+// still holds.
+func (m *Manager) SetDomain(id ID, domain string) error {
+	if domain == "" {
+		return errors.New("provider: empty failure-domain label (untagging would silently disable domain spread)")
+	}
+	p := m.byID(id)
+	if p == nil {
+		return fmt.Errorf("provider: unknown provider %d", id)
+	}
+	p.setDomain(domain)
+	m.invalidateDomains()
+	return nil
+}
+
+// DomainOf returns the failure-domain label of id ("" for unknown
+// providers and for members of a flat pool).
+func (m *Manager) DomainOf(id ID) string {
+	if p := m.byID(id); p != nil {
+		return p.Domain()
+	}
+	return ""
+}
+
+// DomainMap groups registered provider IDs by failure-domain label, in
+// registration order within each domain.
+func (m *Manager) DomainMap() map[string][]ID {
+	out := make(map[string][]ID)
+	for _, p := range m.Providers() {
+		d := p.Domain()
+		out[d] = append(out[d], p.ID())
+	}
+	return out
+}
+
+// domainPromise reports the deployment's configured spread width: the
+// distinct failure domains among ALL registered providers, and whether
+// the pool is FULLY tagged (no provider left in the "" default
+// domain). Domain semantics — the strict distinct-domain promise, the
+// spread audit, spread-restoring repair — activate only on fully
+// tagged pools: a partially retagged pool is a topology in transition,
+// where treating the untagged majority as one domain would funnel a
+// copy of every chunk onto the tagged minority (per-domain balance is
+// capacity-blind) and fail all writes the moment it goes down, so the
+// pool stays FLAT until the last provider is tagged. The result is
+// cached; Register/SetDomain invalidate it.
+func (m *Manager) domainPromise() (configured int, full bool) {
+	m.domMu.Lock()
+	defer m.domMu.Unlock()
+	if !m.domCached {
+		seen := make(map[string]bool)
+		full := true
+		for _, p := range m.Providers() {
+			d := p.Domain()
+			if d == "" {
+				full = false
+			}
+			seen[d] = true
+		}
+		m.domCount, m.domFull, m.domCached = len(seen), full, true
+	}
+	return m.domCount, m.domFull
+}
+
+// configuredDomains counts the distinct failure domains among all
+// registered providers.
+func (m *Manager) configuredDomains() int {
+	configured, _ := m.domainPromise()
+	return configured
 }
 
 // byID returns the provider with the given ID, or nil.
@@ -358,21 +554,36 @@ func (m *Manager) Allocate() (*Provider, error) {
 }
 
 // AllocateN returns n allocation targets for the n replicas of one
-// chunk: always n distinct live providers, taken as a consecutive
-// window of the live ring so that successive calls stay round-robin
-// balanced (every provider's share differs by at most one window).
-// When fewer than n providers are live it fails with a typed
-// *InsufficientProvidersError (errors.Is-matchable against
-// ErrInsufficientProviders). The non-round-robin policies only change
-// where the window starts; distinctness and balance hold regardless.
+// chunk: always n distinct live providers. On a flat (single-domain)
+// pool they are a consecutive window of the live ring so that
+// successive calls stay round-robin balanced (every provider's share
+// differs by at most one window). On a domain-tagged pool the targets
+// additionally spread across failure domains: n DISTINCT domains when
+// the pool is fully tagged with at least n of them — or a typed
+// *InsufficientDomainsError when fewer than n domains currently have a
+// live provider, never a silent co-location — and a best-effort
+// round-robin spread (per-call domain counts balanced within one
+// wherever capacity allows) when the fully tagged pool has fewer
+// domains than n. A partially tagged pool allocates flat (see
+// Manager.domainPromise for why a transition topology must not spread).
+// When fewer than n providers are live it fails with a
+// typed *InsufficientProvidersError. The non-round-robin policies only
+// change where the ring rotation starts; distinctness, spread and
+// balance hold regardless.
 func (m *Manager) AllocateN(n int) ([]*Provider, error) {
-	return m.allocateExcluding(n, nil)
+	return m.allocateSpread(n, nil, nil)
 }
 
-// allocateExcluding is AllocateN with a set of provider IDs that must
-// not be chosen — the re-replication path uses it to place new copies
-// away from the replicas a chunk already has.
-func (m *Manager) allocateExcluding(n int, exclude map[ID]bool) ([]*Provider, error) {
+// allocateSpread is AllocateN with two extra constraints used by the
+// re-replication path: exclude is the set of provider IDs that must
+// not be chosen (the replicas a chunk already has), and have counts
+// the failure domains those survivors occupy, so new copies fill the
+// domains the chunk does NOT yet cover first. The strict
+// distinct-domain promise applies only to fresh allocations (have ==
+// nil): repair prefers restoring the replica count over failing on a
+// domain shortage — a temporarily unachievable spread is recorded by
+// the audit and re-spread once a domain returns.
+func (m *Manager) allocateSpread(n int, exclude map[ID]bool, have map[string]int) ([]*Provider, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("provider: AllocateN needs n >= 1, got %d", n)
 	}
@@ -395,6 +606,100 @@ func (m *Manager) allocateExcluding(n int, exclude map[ID]bool) ([]*Provider, er
 	if n > len(live) {
 		return nil, &InsufficientProvidersError{Want: n, Live: len(live)}
 	}
+	configured, fullyTagged := m.domainPromise()
+	if configured <= 1 || !fullyTagged {
+		// Flat, or a topology in transition (see domainPromise): plain
+		// window allocation until the tagging is complete.
+		return m.allocateWindow(n, live), nil
+	}
+
+	// Group the candidates by domain, preserving first-seen order so
+	// the ring rotation below is stable.
+	var order []string
+	byDom := make(map[string][]*Provider)
+	for _, p := range live {
+		d := p.Domain()
+		if _, ok := byDom[d]; !ok {
+			order = append(order, d)
+		}
+		byDom[d] = append(byDom[d], p)
+	}
+	if have == nil && configured >= n && len(byDom) < n {
+		return nil, &InsufficientDomainsError{Want: n, Live: len(byDom), Configured: configured}
+	}
+
+	var base uint64
+	switch m.Policy() {
+	case Random:
+		base = m.rnd()
+	case LeastLoaded:
+		// Start the ring at the domain of the globally least-loaded
+		// candidate, so domains with idle providers fill first.
+		least := 0
+		for i, p := range live {
+			if p.Allocated() < live[least].Allocated() {
+				least = i
+			}
+		}
+		for i, d := range order {
+			if d == live[least].Domain() {
+				base = uint64(i)
+				break
+			}
+		}
+	default: // RoundRobin
+		base = m.next.Add(uint64(n)) - uint64(n)
+	}
+	// Rotate the domain ring so successive calls start their fill from
+	// different domains (cross-call balance).
+	if r := int(base % uint64(len(order))); r > 0 {
+		order = append(order[r:], order[:r]...)
+	}
+
+	// Water-fill: each pick goes to the domain with the fewest copies
+	// so far (counting the survivors in have), taking the least-loaded
+	// provider within it. With n <= live domains and no prior copies
+	// every pick lands in a fresh domain — the distinct-domain
+	// invariant; otherwise counts stay within one per domain wherever a
+	// domain still has spare providers.
+	counts := make(map[string]int, len(order))
+	for d, c := range have {
+		counts[d] = c
+	}
+	out := make([]*Provider, 0, n)
+	for len(out) < n {
+		dom := -1
+		for i, d := range order {
+			if len(byDom[d]) == 0 {
+				continue
+			}
+			if dom < 0 || counts[d] < counts[order[dom]] {
+				dom = i
+			}
+		}
+		if dom < 0 {
+			// Unreachable: n <= len(live) guarantees enough candidates.
+			return nil, &InsufficientProvidersError{Want: n, Live: len(out)}
+		}
+		d := order[dom]
+		pi := 0
+		for j, p := range byDom[d] {
+			if p.Allocated() < byDom[d][pi].Allocated() {
+				pi = j
+			}
+		}
+		p := byDom[d][pi]
+		byDom[d] = append(byDom[d][:pi], byDom[d][pi+1:]...)
+		counts[d]++
+		p.allocated.Add(1)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// allocateWindow is the flat-pool allocation: a consecutive window of
+// the live ring, round-robin balanced across calls.
+func (m *Manager) allocateWindow(n int, live []*Provider) []*Provider {
 	var base uint64
 	switch m.Policy() {
 	case Random:
@@ -419,7 +724,7 @@ func (m *Manager) allocateExcluding(n int, exclude map[ID]bool) ([]*Provider, er
 		p.allocated.Add(1)
 		out = append(out, p)
 	}
-	return out, nil
+	return out
 }
 
 // placement records, for every stored chunk, the set of providers
@@ -914,8 +1219,13 @@ func (o RepairOutcome) String() string {
 // RepairChunk re-replicates one chunk: it verifies which recorded
 // replicas still hold the data (probing stores, so flag-lagging dead
 // machines are caught), copies from a survivor onto enough new distinct
-// providers to restore the replication degree, and updates placement.
-// copied reports how many new copies were written. Unknown keys return
+// providers to restore the replication degree — placing the new copies
+// in failure domains the survivors do not cover — and updates
+// placement. A chunk already at full degree whose live replicas
+// co-locate in fewer domains than the pool could spread them over is
+// re-spread: one copy moves to an uncovered domain (restoring the
+// spread invariant, not just the count). copied reports how many new
+// copies were written, moves included. Unknown keys return
 // RepairHealthy (nothing recorded to restore), as does a chunk whose
 // in-flight claim is held by another worker — a concurrent deletion
 // (the chunk is going away; repairing it would resurrect garbage) or
@@ -932,6 +1242,20 @@ func (r *Router) RepairChunk(key chunk.Key) (outcome RepairOutcome, copied int, 
 	}
 	live := r.liveReplicas(key, ids, true, true)
 	if len(live) == len(ids) && len(live) >= want {
+		// Full degree. Restore the domain spread if the set co-locates
+		// while a spare live domain exists, then retire any copies
+		// ABOVE degree (left behind by a spread move whose eviction
+		// failed); otherwise nothing to do.
+		if r.spreadViolatedSet(live) {
+			if moved, merr := r.improveSpread(key, live); merr != nil {
+				return RepairPartial, 0, merr
+			} else if moved {
+				return RepairRepaired, 1, nil
+			}
+		}
+		if len(live) > want {
+			r.trimExcess(key, live, want)
+		}
 		return RepairHealthy, 0, nil
 	}
 	if len(live) == 0 {
@@ -939,7 +1263,16 @@ func (r *Router) RepairChunk(key chunk.Key) (outcome RepairOutcome, copied int, 
 	}
 	newIDs, rerr := r.rereplicate(key, live, want)
 	if rerr != nil {
-		return RepairPartial, 0, rerr
+		// Record any copies that DID land before the failure: invisible
+		// copies would be orphans — unreadable, re-copied by the next
+		// repair, and never reclaimed by DeleteReplicas.
+		if len(newIDs) > len(live) {
+			copied = len(newIDs) - len(live)
+			r.place.mu.Lock()
+			r.place.m[key] = newIDs
+			r.place.mu.Unlock()
+		}
+		return RepairPartial, copied, rerr
 	}
 	copied = len(newIDs) - len(live)
 	r.place.mu.Lock()
@@ -989,7 +1322,10 @@ func (r *Router) Repair() RepairStats {
 
 // rereplicate copies one chunk from a surviving replica onto enough new
 // providers to restore the replication degree, returning the new
-// replica set (live survivors plus new copies).
+// replica set (live survivors plus new copies). The survivors' failure
+// domains are handed to the allocator as already-covered, so new
+// copies land in uncovered domains first — a repair after a domain
+// loss restores the spread invariant along with the count.
 func (r *Router) rereplicate(key chunk.Key, live []ID, want int) ([]ID, error) {
 	missing := want - len(live)
 	if missing <= 0 {
@@ -1000,27 +1336,260 @@ func (r *Router) rereplicate(key chunk.Key, live []ID, want int) ([]ID, error) {
 		return nil, err
 	}
 	exclude := make(map[ID]bool, len(live))
+	have := make(map[string]int, len(live))
 	for _, id := range live {
 		exclude[id] = true
-	}
-	targets, err := r.allocateExcluding(missing, exclude)
-	if err != nil {
-		return nil, err
+		have[r.DomainOf(id)]++
 	}
 	out := append([]ID(nil), live...)
-	for _, p := range targets {
-		if err := r.putOne(p, key, data); err != nil {
+	var lastErr error
+	// A target whose store fails the copy (a dead machine the health
+	// monitor has not flagged yet) is excluded and allocation retried,
+	// so one repair call converges past flag-lagging losses instead of
+	// waiting for detection. The loop terminates: every round either
+	// places a copy or grows the exclusion set.
+	for missing > 0 {
+		targets, aerr := r.allocateSpread(missing, exclude, have)
+		if aerr != nil {
+			if lastErr == nil {
+				lastErr = aerr
+			}
+			return out, lastErr
+		}
+		for _, p := range targets {
+			exclude[p.ID()] = true
+			err := r.putOne(p, key, data)
 			// Tolerate ErrExists: an earlier partial repair or a
 			// quorum-failed Put may have left a valid copy here.
-			if errors.Is(err, chunk.ErrExists) {
-				out = append(out, p.ID())
+			if err != nil && !errors.Is(err, chunk.ErrExists) {
+				lastErr = fmt.Errorf("provider %d: %w", p.ID(), err)
 				continue
 			}
-			return out, err
+			out = append(out, p.ID())
+			have[p.Domain()]++
+			missing--
 		}
-		out = append(out, p.ID())
 	}
 	return out, nil
+}
+
+// liveDomainCount counts failure domains with at least one flag-live
+// provider — the spread width currently achievable. A pool that is
+// not fully tagged counts as ONE domain: during a topology transition
+// the spread machinery (audit, spread repair, violation checks) stays
+// inert, for the same reason allocateSpread stays flat (see
+// domainPromise).
+func (m *Manager) liveDomainCount() int {
+	if _, full := m.domainPromise(); !full {
+		return 1
+	}
+	seen := make(map[string]bool)
+	for _, p := range m.Providers() {
+		if !p.Down() {
+			seen[p.Domain()] = true
+		}
+	}
+	return len(seen)
+}
+
+// spreadViolatedSet reports whether a replica set (its flag-live
+// members) spans fewer distinct failure domains than it could: the
+// invariant is min(R, set size, live domains) distinct domains. A flat
+// pool (one domain) never violates.
+func (r *Router) spreadViolatedSet(ids []ID) bool {
+	return r.spreadViolatedIn(ids, r.liveDomainCount())
+}
+
+// spreadViolatedIn is spreadViolatedSet with the live-domain count
+// precomputed, so a whole-placement scan walks the provider list once
+// instead of once per chunk.
+func (r *Router) spreadViolatedIn(ids []ID, liveDoms int) bool {
+	if liveDoms <= 1 {
+		return false
+	}
+	covered := make(map[string]bool)
+	n := 0
+	for _, id := range ids {
+		p := r.byID(id)
+		if p == nil || p.Down() {
+			continue
+		}
+		n++
+		covered[p.Domain()] = true
+	}
+	achievable := r.Replicas()
+	if n < achievable {
+		achievable = n
+	}
+	if liveDoms < achievable {
+		achievable = liveDoms
+	}
+	return len(covered) < achievable
+}
+
+// SpreadViolated reports whether the chunk's recorded replica set
+// co-locates in fewer failure domains than the pool could spread it
+// over (down flags only, no store probes — the count path catches dead
+// copies). The scrubber feeds violations into the repair queue, where
+// RepairChunk re-spreads them.
+func (r *Router) SpreadViolated(key chunk.Key) bool {
+	return r.SpreadViolatedWith(key, r.liveDomainCount())
+}
+
+// LiveDomains returns the number of failure domains with at least one
+// flag-live provider. Callers checking many chunks (the scrubber)
+// compute it once per pass and hand it to SpreadViolatedWith, instead
+// of re-walking the provider list per chunk.
+func (r *Router) LiveDomains() int { return r.liveDomainCount() }
+
+// SpreadViolatedWith is SpreadViolated with the live-domain count
+// precomputed (see LiveDomains).
+func (r *Router) SpreadViolatedWith(key chunk.Key, liveDomains int) bool {
+	if liveDomains <= 1 {
+		return false
+	}
+	ids, ok := r.Locate(key)
+	if !ok {
+		return false
+	}
+	return r.spreadViolatedIn(ids, liveDomains)
+}
+
+// PlacementSuspect is the scrubber's placement-quality check for a
+// chunk whose LIVE count already matches the degree: true when the
+// live replicas violate the domain spread, or when the RECORDED set
+// size differs from the degree — an above-degree set left by a failed
+// spread-move eviction, or a stale entry naming a dead provider
+// alongside a full live set (the probe-based live count cannot see
+// either). RepairChunk resolves both: it prunes stale members and
+// trims above-degree copies.
+func (r *Router) PlacementSuspect(key chunk.Key, liveDomains int) bool {
+	if liveDomains <= 1 {
+		return false
+	}
+	ids, ok := r.Locate(key)
+	if !ok {
+		return false
+	}
+	if len(ids) != r.Replicas() {
+		return true
+	}
+	return r.spreadViolatedIn(ids, liveDomains)
+}
+
+// SpreadAudit scans the placement map for chunks whose live replicas
+// violate the domain-spread invariant — the operator's correlated-loss
+// exposure report (bsctl health). Like UnderReplicated it is a passive
+// observer: no store probes, no health reports.
+func (r *Router) SpreadAudit() []chunk.Key {
+	liveDoms := r.liveDomainCount()
+	if liveDoms <= 1 {
+		return nil
+	}
+	var out []chunk.Key
+	for _, key := range r.Keys() {
+		if ids, ok := r.Locate(key); ok && r.spreadViolatedIn(ids, liveDoms) {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// improveSpread moves one replica of a full-degree chunk into a
+// failure domain the set does not cover: copy onto a provider in an
+// uncovered domain, then delete one copy from the most crowded domain.
+// moved is false when no uncovered live domain has a spare provider.
+// A failed delete leaves the extra copy in placement (harmless: one
+// copy above degree); the scrubber re-finds above-degree sets and
+// RepairChunk retires them via trimExcess. Caller holds the chunk's
+// in-flight claim.
+func (r *Router) improveSpread(key chunk.Key, live []ID) (moved bool, err error) {
+	exclude := make(map[ID]bool, len(live))
+	have := make(map[string]int, len(live))
+	for _, id := range live {
+		exclude[id] = true
+		have[r.DomainOf(id)]++
+	}
+	targets, err := r.allocateSpread(1, exclude, have)
+	if err != nil {
+		return false, nil // no spare provider at all; count is intact
+	}
+	target := targets[0]
+	if have[target.Domain()] > 0 {
+		return false, nil // every uncovered domain is down or exhausted
+	}
+	data, err := r.readFull(key, live)
+	if err != nil {
+		return false, err
+	}
+	if err := r.putOne(target, key, data); err != nil && !errors.Is(err, chunk.ErrExists) {
+		return false, err
+	}
+	// Evict one copy from a crowded domain (>= 2 live copies): the new
+	// copy covers a fresh domain, so coverage strictly improves. The
+	// LAST such replica goes, keeping the earliest-written copy in
+	// place.
+	newSet := append([]ID(nil), live...)
+	for i := len(newSet) - 1; i >= 0; i-- {
+		id := newSet[i]
+		if have[r.DomainOf(id)] < 2 {
+			continue
+		}
+		p := r.byID(id)
+		if p == nil || p.Down() {
+			continue
+		}
+		derr := p.Store().Delete(key)
+		r.reportError(id, derr)
+		if derr == nil || errors.Is(derr, chunk.ErrNotFound) {
+			newSet = append(newSet[:i], newSet[i+1:]...)
+		}
+		break
+	}
+	newSet = append(newSet, target.ID())
+	r.place.mu.Lock()
+	r.place.m[key] = newSet
+	r.place.mu.Unlock()
+	return true, nil
+}
+
+// trimExcess deletes copies above the replication degree — left behind
+// when a spread move's eviction failed — keeping coverage by trimming
+// the most crowded domains first (the last replica there goes, as in
+// improveSpread). A failed delete stops the trim; the copy stays
+// recorded and the next scrub pass retries. Caller holds the chunk's
+// in-flight claim.
+func (r *Router) trimExcess(key chunk.Key, live []ID, want int) {
+	out := append([]ID(nil), live...)
+	trimmed := false
+	for len(out) > want {
+		counts := make(map[string]int, len(out))
+		for _, id := range out {
+			counts[r.DomainOf(id)]++
+		}
+		idx, best := -1, -1
+		for i, id := range out {
+			if c := counts[r.DomainOf(id)]; c >= best {
+				idx, best = i, c
+			}
+		}
+		p := r.byID(out[idx])
+		if p == nil || p.Down() {
+			break // unreachable copy; a later pass retries
+		}
+		derr := p.Store().Delete(key)
+		r.reportError(out[idx], derr)
+		if derr != nil && !errors.Is(derr, chunk.ErrNotFound) {
+			break
+		}
+		out = append(out[:idx], out[idx+1:]...)
+		trimmed = true
+	}
+	if trimmed {
+		r.place.mu.Lock()
+		r.place.m[key] = out
+		r.place.mu.Unlock()
+	}
 }
 
 // ErrChunkBusy is returned by DeleteReplicas when the chunk has an
@@ -1092,20 +1661,22 @@ func (r *Router) DeleteReplicas(key chunk.Key) (removed int, bytes int64, err er
 // ProviderUsage is one provider's space accounting.
 type ProviderUsage struct {
 	Provider ID
+	Domain   string // failure-domain label ("" on a flat pool)
 	Chunks   int
 	Bytes    int64
 	Down     bool
 }
 
-// Usage reports per-provider chunk counts and stored bytes, in
-// registration order — the operator's view of where space lives and
-// the verification feed for reclamation accounting.
+// Usage reports per-provider chunk counts and stored bytes with the
+// provider's failure domain, in registration order — the operator's
+// view of where space lives (and in which loss unit), and the
+// verification feed for reclamation accounting.
 func (r *Router) Usage() []ProviderUsage {
 	providers := r.Providers()
 	out := make([]ProviderUsage, 0, len(providers))
 	for _, p := range providers {
 		chunks, bytes := p.Store().Usage()
-		out = append(out, ProviderUsage{Provider: p.ID(), Chunks: chunks, Bytes: bytes, Down: p.Down()})
+		out = append(out, ProviderUsage{Provider: p.ID(), Domain: p.Domain(), Chunks: chunks, Bytes: bytes, Down: p.Down()})
 	}
 	return out
 }

@@ -323,6 +323,38 @@ func (s *DataServer) SetProviderDown(a *SetDownArgs, _ *struct{}) error {
 	return s.R.SetDown(a.Provider, a.Down)
 }
 
+// SetDomainArgs registers one provider's failure-domain label.
+type SetDomainArgs struct {
+	Provider provider.ID
+	Domain   string
+}
+
+// SetProviderDomain RPC: register a provider with a failure domain
+// (rack/zone) after the fact — retagging the topology (bsctl domain).
+// Placement spreads subsequent replicas across the registered domains;
+// the scrubber's spread audit re-finds chunks the new topology leaves
+// co-located and repair re-spreads them.
+func (s *DataServer) SetProviderDomain(a *SetDomainArgs, _ *struct{}) error {
+	return s.R.SetDomain(a.Provider, a.Domain)
+}
+
+// SpreadAuditArgs selects the correlated-loss exposure report.
+type SpreadAuditArgs struct{}
+
+// SpreadAuditReply lists the chunks whose live replicas violate the
+// domain-spread invariant (co-located in fewer domains than the pool
+// could spread them over).
+type SpreadAuditReply struct {
+	Violations []chunk.Key
+}
+
+// SpreadAudit RPC: scan placement for chunks exposed to a correlated
+// single-domain loss (bsctl health). Empty on a flat pool.
+func (s *DataServer) SpreadAudit(_ *SpreadAuditArgs, reply *SpreadAuditReply) error {
+	reply.Violations = s.R.SpreadAudit()
+	return nil
+}
+
 // HealthArgs selects the health snapshot.
 type HealthArgs struct{}
 
@@ -661,6 +693,20 @@ func (c *Client) Repair() (provider.RepairStats, error) {
 // it).
 func (c *Client) SetProviderDown(id provider.ID, down bool) error {
 	return c.data.Call(dataService+".SetProviderDown", &SetDownArgs{Provider: id, Down: down}, &struct{}{})
+}
+
+// SetProviderDomain registers one provider's failure-domain label on
+// the data node.
+func (c *Client) SetProviderDomain(id provider.ID, domain string) error {
+	return c.data.Call(dataService+".SetProviderDomain", &SetDomainArgs{Provider: id, Domain: domain}, &struct{}{})
+}
+
+// SpreadAudit returns the chunks on the data node whose live replicas
+// violate the domain-spread invariant.
+func (c *Client) SpreadAudit() ([]chunk.Key, error) {
+	var reply SpreadAuditReply
+	err := c.data.Call(dataService+".SpreadAudit", &SpreadAuditArgs{}, &reply)
+	return reply.Violations, err
 }
 
 // Health returns the data node's per-provider health snapshot (errors
