@@ -10,10 +10,13 @@
 // reclamation (bytes reclaimed by version GC against the drop
 // schedule's exclusive set, the reclamation rate at the configured
 // delete budget, and the foreground write-latency impact of a GC
-// storm), and E12 correlated loss (durability and repair time when a
+// storm), E12 correlated loss (durability and repair time when a
 // whole failure domain dies at once, domain-spread placement vs the
-// flat control). Expect a full run to take a few minutes; -quick
-// shrinks the matrix for smoke runs.
+// flat control), and E13 the hot-path read tier (cross-domain read
+// fraction and cache hit rate of skewed re-reads under flat rotation,
+// zone-local replica selection, and the bounded read-through cache).
+// Expect a full run to take a few minutes; -quick shrinks the matrix
+// for smoke runs.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		runE10(*quick)
 		runE11(*quick)
 		runE12(*quick)
+		runE13(*quick)
 	}
 	runE6(*quick)
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
@@ -471,6 +475,55 @@ func runE12(quick bool) {
 					detect,
 					heal,
 					healTime,
+				)
+			}
+		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E13: the hot-path read tier — readers racked in one failure domain
+// re-read a replicated file with a 90/10 hot/cold skew. The flat
+// rotation fetches roughly (R-1)/R of its bytes from other domains;
+// zone-local replica selection collapses that to the chunks with no
+// local copy; the bounded read-through cache serves the hot set from
+// memory (hit rate reported) and shrinks replica traffic outright.
+// Same stored bytes, same durability — the tier only reorders and
+// remembers reads.
+func runE13(quick bool) {
+	readers := []int{8, 16}
+	reads := 400
+	if quick {
+		readers = []int{8}
+		reads = 200
+	}
+	tbl := bench.NewTable("E13: read tier (64-chunk file, 90/10 hot/cold skew, readers in zone0 of 4 domains)",
+		"readers", "R", "mode", "reads", "read MB/s", "local bytes", "remote bytes", "cross-domain", "cache hits")
+	for _, n := range readers {
+		for _, r := range []int{2, 3} {
+			for _, mode := range []bench.ReadTierMode{bench.ReadFlat, bench.ReadZoneLocal, bench.ReadZoneLocalCached} {
+				res, err := bench.RunReadTier(env(), bench.ReadTierOptions{
+					Replicas: r, Domains: 4, Mode: mode,
+					Readers: n, ReadsPerReader: reads, Seed: 13,
+				})
+				if err != nil {
+					die(err)
+				}
+				hits := "-"
+				if res.CacheOn {
+					hits = fmt.Sprintf("%.1f%%", 100*res.Cache.HitRate())
+				}
+				tbl.AddRow(
+					fmt.Sprintf("%d", n),
+					fmt.Sprintf("%d", r),
+					mode.String(),
+					fmt.Sprintf("%d", res.Reads),
+					fmt.Sprintf("%.1f", res.ReadMBps),
+					fmt.Sprintf("%d", res.Locality.LocalBytes),
+					fmt.Sprintf("%d", res.Locality.RemoteBytes),
+					fmt.Sprintf("%.1f%%", 100*res.CrossFraction),
+					hits,
 				)
 			}
 		}

@@ -8,6 +8,7 @@
 //	blobseerd -listen :4004 -roles vm,meta,data -replicas 2 -retain 8 -gc-rate 8
 //	blobseerd -listen :4005 -roles data -providers 16 -replicas 3 -domains 4
 //	blobseerd -listen :4006 -roles data -replicas 2 -domains rackA,rackB,rackC
+//	blobseerd -listen :4007 -roles data -replicas 2 -domains 4 -domain zone0 -read-cache 67108864
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
 // of the three roles, which may be the same node or different nodes.
@@ -60,6 +61,10 @@ func main() {
 		gcRate     = flag.Int("gc-rate", 4, "chunk deletions per reaper tick (gc)")
 		gcInterval = flag.Duration("gc-interval", 200*time.Millisecond, "background reaper tick period (gc)")
 		gcQueue    = flag.Int("gc-queue", 256, "bounded delete queue depth (gc)")
+
+		localDomain = flag.String("domain", "", "failure domain this node's readers sit in: same-domain replicas are tried first and cross-domain bytes avoided are counted (data role)")
+		readCache   = flag.Int64("read-cache", 0, "bounded read-through cache size in bytes; repeated chunk reads and replica-set hints are served from memory, invalidated on placement changes (data role; 0 = off)")
+		cacheShards = flag.Int("cache-shards", 0, "read cache shard count, rounded up to a power of two (read-cache; 0 = default 16)")
 	)
 	flag.Parse()
 	if *retain > 0 {
@@ -108,6 +113,15 @@ func main() {
 			roles.Data = provider.NewRouter(pool)
 			roles.Data.SetReplicas(*replicas)
 			roles.Data.SetWriteQuorum(*quorum)
+			if *localDomain != "" {
+				roles.Data.SetLocalDomain(*localDomain)
+			}
+			if *readCache > 0 {
+				roles.Data.SetReadCache(provider.NewReadCache(provider.ReadCacheConfig{
+					Shards:   *cacheShards,
+					MaxBytes: *readCache,
+				}))
+			}
 			if *selfHeal {
 				order := core.OldestFirst
 				switch *scrubOrder {
@@ -157,6 +171,12 @@ func main() {
 		// Blobs are created by clients over RPC; the reaper discovers
 		// them from the version manager at each pass start.
 		roles.Reaper.SetCatalog(blob.Services{VM: roles.VM, Meta: roles.Meta, Data: roles.Data}, roles.VM)
+		if c := roles.Data.ReadCache(); c != nil {
+			// The reaper's hint walk then repairs hint rot: stale
+			// metadata hints get the current placement rewritten into
+			// the cache instead of merely being counted.
+			roles.Reaper.SetReadCache(c)
+		}
 	}
 
 	node, err := remote.Listen(*listen, roles)
@@ -191,6 +211,16 @@ func main() {
 			// promise a correlated-loss guarantee that does not exist.
 			fmt.Println("failure domains: 1 (flat placement — spreading needs at least 2 domains)")
 		}
+	}
+	if roles.Data != nil && (*localDomain != "" || *readCache > 0) {
+		parts := []string{}
+		if *localDomain != "" {
+			parts = append(parts, fmt.Sprintf("zone-local reads from %s", *localDomain))
+		}
+		if *readCache > 0 {
+			parts = append(parts, fmt.Sprintf("read cache %d bytes", *readCache))
+		}
+		fmt.Printf("read tier: %s\n", strings.Join(parts, ", "))
 	}
 	fmt.Printf("blobseerd serving %s on %s\n", *rolesFlag, node.Addr())
 

@@ -18,6 +18,7 @@
 //	bsctl unpin -blob 1 -version 3
 //	bsctl gc [-sync]              # reaper stats; -sync forces a full pass
 //	bsctl usage                   # per-provider chunk count / bytes stored
+//	bsctl readtier                # zone-local read locality and read-cache counters
 package main
 
 import (
@@ -320,6 +321,29 @@ func main() {
 		}
 		fmt.Printf("total (live)            %6d chunks %12d bytes\n", chunks, bytes)
 
+	case "readtier":
+		rt, err := cli.ReadTier()
+		if err != nil {
+			fail(err)
+		}
+		domain := rt.LocalDomain
+		if domain == "" {
+			domain = "(none — flat replica rotation)"
+		}
+		fmt.Printf("reader domain: %s\n", domain)
+		loc := rt.Locality
+		fmt.Printf("locality: %d local / %d remote reads, %d local / %d remote bytes (cross-domain fraction %.3f)\n",
+			loc.LocalReads, loc.RemoteReads, loc.LocalBytes, loc.RemoteBytes, loc.CrossFraction())
+		if !rt.CacheEnabled {
+			fmt.Println("read cache: off (enable with blobseerd -read-cache)")
+			break
+		}
+		cs := rt.Cache
+		fmt.Printf("read cache: %d entries / %d bytes, hit rate %.3f (%d hits, %d misses)\n",
+			cs.Entries, cs.Bytes, cs.HitRate(), cs.Hits, cs.Misses)
+		fmt.Printf("hints: %d hits, %d misses, %d fills\n", cs.HintHits, cs.HintMisses, cs.HintFills)
+		fmt.Printf("churn: %d fills, %d evictions, %d invalidations\n", cs.Fills, cs.Evictions, cs.Invalidations)
+
 	case "down", "up":
 		if *providerID < 0 {
 			fail(fmt.Errorf("bsctl: %s requires -provider", cmd))
@@ -381,6 +405,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|repair|health|scrub|down|up|domain [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|readtier|repair|health|scrub|down|up|domain [flags]")
 	os.Exit(2)
 }

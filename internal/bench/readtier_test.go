@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestRunReadTier smoke-tests E13 unmetered across the three stages:
+// the flat rotation pays a substantial cross-domain fraction,
+// zone-local selection drops it, and the cache on top serves the hot
+// set from memory at a high hit rate without changing what the reads
+// return.
+func TestRunReadTier(t *testing.T) {
+	base := ReadTierOptions{Replicas: 2, Domains: 4, Readers: 4, ReadsPerReader: 200, Seed: 42}
+
+	run := func(mode ReadTierMode) ReadTierResult {
+		t.Helper()
+		opts := base
+		opts.Mode = mode
+		res, err := RunReadTier(cluster.Default(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		return res
+	}
+
+	flat := run(ReadFlat)
+	local := run(ReadZoneLocal)
+	cached := run(ReadZoneLocalCached)
+
+	// The blind rotation at R=2 over 4 domains fetches roughly half its
+	// bytes from outside the reader domain.
+	if flat.CrossFraction < 0.3 {
+		t.Fatalf("flat baseline cross-domain fraction %.3f implausibly low: %+v", flat.CrossFraction, flat.Locality)
+	}
+	if local.CrossFraction >= flat.CrossFraction {
+		t.Fatalf("zone-local selection did not reduce the cross-domain fraction: flat %.3f, local %.3f",
+			flat.CrossFraction, local.CrossFraction)
+	}
+	if cached.CrossFraction >= flat.CrossFraction {
+		t.Fatalf("cached mode did not reduce the cross-domain fraction: flat %.3f, cached %.3f",
+			flat.CrossFraction, cached.CrossFraction)
+	}
+	if flat.CacheOn || local.CacheOn {
+		t.Fatalf("cache reported on in uncached modes")
+	}
+	if !cached.CacheOn {
+		t.Fatal("cached mode reported no cache")
+	}
+	// A 90/10 skew over 64 chunks with 800 reads re-reads the hot set
+	// constantly; the hit rate must reflect that.
+	if hr := cached.Cache.HitRate(); hr < 0.5 {
+		t.Fatalf("cache hit rate %.3f too low for a 90/10 skew: %+v", hr, cached.Cache)
+	}
+	if cached.Cache.Fills == 0 {
+		t.Fatalf("cache never filled: %+v", cached.Cache)
+	}
+}
+
+// TestRunReadTierValidation: locality needs a replica choice to make.
+func TestRunReadTierValidation(t *testing.T) {
+	if _, err := RunReadTier(cluster.Default(), ReadTierOptions{Replicas: 1}); err == nil {
+		t.Fatal("RunReadTier accepted R=1")
+	}
+}

@@ -68,12 +68,26 @@ type DataService interface {
 
 var _ DataService = (*provider.Router)(nil)
 
-// Services bundles the three service endpoints a client talks to.
+// Services bundles the service endpoints a client talks to.
 type Services struct {
 	VM   VersionService
 	Meta segtree.NodeStore
 	Data DataService
+
+	// Cache, when set, is the deployment's shared read cache
+	// (cluster.Env.ReadCache wires the router's): blob handles consult
+	// it for fresh replica-set hints, so a hint corrected by one handle
+	// benefits every handle, and the router invalidates it on placement
+	// changes. When nil each handle falls back to a small private
+	// hint-only cache — still bounded, unlike the per-handle map it
+	// replaced, but invalidated only by capacity.
+	Cache *provider.ReadCache
 }
+
+// privateHintCacheBytes bounds the per-handle fallback hint cache used
+// when no shared cache is wired: a few thousand hint entries, enough
+// for a handle's working set, nothing like the old unbounded map.
+const privateHintCacheBytes = 256 << 10
 
 // Blob is a handle to one versioned binary object.
 type Blob struct {
@@ -86,10 +100,11 @@ type Blob struct {
 	// metadata refs are immutable, so after a repair moves a chunk's
 	// copies the ref's replica list goes stale forever. The first read
 	// through a stale hint falls back to the placement map and returns
-	// the current set; caching it here makes every later read of the
-	// same chunk go straight to the live copies.
-	hintMu sync.RWMutex
-	hints  map[chunk.Key][]provider.ID
+	// the current set; caching it makes every later read of the same
+	// chunk go straight to the live copies. Either the shared
+	// Services.Cache (placement-invalidated) or a private bounded
+	// hint-only cache.
+	hints *provider.ReadCache
 }
 
 // WriteOptions tunes one write call.
@@ -122,29 +137,31 @@ func Open(svc Services, id uint64) (*Blob, error) {
 }
 
 func newBlob(svc Services, id uint64, geo segtree.Geometry) *Blob {
+	hints := svc.Cache
+	if hints == nil {
+		hints = provider.NewReadCache(provider.ReadCacheConfig{
+			Shards:   4,
+			MaxBytes: privateHintCacheBytes,
+		})
+	}
 	return &Blob{
 		svc:   svc,
 		id:    id,
 		geo:   geo,
 		tree:  &segtree.Tree{Blob: id, Geo: geo, Store: svc.Meta},
-		hints: make(map[chunk.Key][]provider.ID),
+		hints: hints,
 	}
 }
 
 // FreshHint returns the cached fresh replica set for a chunk whose
 // metadata hint was observed stale, if any.
 func (b *Blob) FreshHint(key chunk.Key) ([]provider.ID, bool) {
-	b.hintMu.RLock()
-	defer b.hintMu.RUnlock()
-	ids, ok := b.hints[key]
-	return ids, ok
+	return b.hints.Hint(key)
 }
 
 // cacheHint records a fresh replica set for a stale-hinted chunk.
 func (b *Blob) cacheHint(key chunk.Key, ids []provider.ID) {
-	b.hintMu.Lock()
-	b.hints[key] = ids
-	b.hintMu.Unlock()
+	b.hints.FillHint(key, ids)
 }
 
 // ID returns the blob identifier.

@@ -113,3 +113,123 @@ func TestStaleHintFallbackAndRefresh(t *testing.T) {
 		t.Fatalf("second read used hint %v, want the refreshed set %v", refreshedHint, fresh)
 	}
 }
+
+// TestSharedCacheHintLifecycle covers the shared-cache replacement for
+// the old per-handle hint maps: two handles on the same blob share one
+// deployment cache, so a hint one handle learns serves the other; a
+// placement change invalidates it for both; and the cache's byte bound
+// holds however many hints the handles learn.
+func TestSharedCacheHintLifecycle(t *testing.T) {
+	mgr, _ := provider.NewPool(4, iosim.CostModel{})
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(2)
+	cache := provider.NewReadCache(provider.ReadCacheConfig{Shards: 4, MaxBytes: 256 << 10})
+	router.SetReadCache(cache)
+	svc := Services{
+		VM:    vmanager.New(iosim.CostModel{}),
+		Meta:  metadata.NewStore(2, iosim.CostModel{}),
+		Data:  router,
+		Cache: cache,
+	}
+	b1, err := Create(svc, 1, segtree.Geometry{Capacity: 64 << 10, Page: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("shared"), 512)
+	v, err := b1.Write(0, payload, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Open(svc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keys := router.Keys()
+	if len(keys) != 1 {
+		t.Fatalf("expected 1 placed chunk, got %d", len(keys))
+	}
+	key := keys[0]
+	orig, _ := router.Locate(key)
+
+	// Rot the metadata hint: kill one holder, repair, kill the other.
+	if err := mgr.SetDown(orig[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if st := router.Repair(); st.Repaired != st.Degraded || st.Lost > 0 {
+		t.Fatalf("repair: %+v", st)
+	}
+	if err := mgr.SetDown(orig[1], true); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := router.Locate(key)
+
+	// Handle 1 reads through the stale metadata hint and learns the
+	// fresh set; because the hint store is the SHARED cache, handle 2
+	// sees it without ever having read.
+	if _, err := b1.ReadAt(v, 0, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if cached, ok := b2.FreshHint(key); !ok || fmt.Sprint(cached) != fmt.Sprint(fresh) {
+		t.Fatalf("handle 2 hint = %v,%v, want shared %v", cached, ok, fresh)
+	}
+
+	// The next placement change invalidates the shared hint for both
+	// handles at once — the rot the per-handle maps used to keep.
+	if err := mgr.SetDown(fresh[0], true); err != nil {
+		t.Fatal(err)
+	}
+	if st := router.Repair(); st.Lost > 0 {
+		t.Fatalf("repair: %+v", st)
+	}
+	if _, ok := b1.FreshHint(key); ok {
+		t.Fatal("handle 1 still holds a hint the repair invalidated")
+	}
+	if _, ok := b2.FreshHint(key); ok {
+		t.Fatal("handle 2 still holds a hint the repair invalidated")
+	}
+	// ... and reads keep working through the re-learned placement.
+	got, err := b2.ReadAt(v, 0, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("post-invalidation read returned wrong data")
+	}
+}
+
+// TestPrivateHintCacheBounded covers the no-shared-cache fallback: a
+// handle built without Services.Cache stores its learned hints in a
+// private BOUNDED cache — the unbounded per-handle map this replaced
+// grew one entry per chunk ever read, forever.
+func TestPrivateHintCacheBounded(t *testing.T) {
+	mgr, _ := provider.NewPool(4, iosim.CostModel{})
+	router := provider.NewRouter(mgr)
+	router.SetReplicas(2)
+	svc := Services{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: router,
+	}
+	b, err := Create(svc, 1, segtree.Geometry{Capacity: 64 << 10, Page: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood the private store with far more hints than its byte budget
+	// holds: the bound must win.
+	var key chunk.Key
+	for i := 0; i < 100000; i++ {
+		key = chunk.Key{Blob: 1, Version: uint64(i), Index: uint32(i)}
+		b.cacheHint(key, []provider.ID{0, 1})
+	}
+	if b.hints.Bytes() > privateHintCacheBytes {
+		t.Fatalf("private hint cache grew to %d bytes, bound is %d", b.hints.Bytes(), privateHintCacheBytes)
+	}
+	if st := b.hints.Stats(); st.Evictions == 0 {
+		t.Fatalf("100k hints never evicted: %+v", st)
+	}
+	// The most recent hint survives the flood.
+	if _, ok := b.FreshHint(key); !ok {
+		t.Fatal("freshest hint evicted")
+	}
+}

@@ -100,6 +100,24 @@ type Env struct {
 	// GCQueue bounds the delete queue depth (GC; 0 = 256).
 	GCQueue int
 
+	// ReadCache enables the hot-path read tier's shared bounded cache:
+	// the router serves repeated chunk reads and fresh replica-set
+	// hints from it, invalidating on every placement change, blob
+	// handles share it for hints, and (with GC on) the reaper's hint
+	// walk rewrites stale metadata hints into it. Off by default.
+	ReadCache bool
+	// CacheBytes bounds the read cache footprint (ReadCache;
+	// 0 = default 64 MiB).
+	CacheBytes int64
+	// CacheShards is the cache's fixed shard count, rounded up to a
+	// power of two (ReadCache; 0 = default 16).
+	CacheShards int
+	// LocalDomain, when set, declares the failure domain this
+	// deployment's reads originate from: the router prefers
+	// same-domain replicas and counts cross-domain bytes avoided
+	// (Router.ReadLocality). Works with or without ReadCache.
+	LocalDomain string
+
 	DataModel iosim.CostModel // per provider / OST
 	MetaModel iosim.CostModel // per metadata shard
 	CtrlModel iosim.CostModel // version manager, lock manager, detector RPCs
@@ -164,6 +182,7 @@ type Versioning struct {
 	Health    *provider.HealthMonitor
 	Healer    *core.Healer
 	Reaper    *core.Reaper
+	Cache     *provider.ReadCache // non-nil only with Env.ReadCache
 	Faults    []*chunk.FaultStore
 	env       Env
 }
@@ -185,11 +204,23 @@ func NewVersioning(env Env) (*Versioning, error) {
 	router := provider.NewRouter(mgr)
 	router.SetReplicas(env.Replicas)
 	router.SetWriteQuorum(env.WriteQuorum)
+	if env.LocalDomain != "" {
+		router.SetLocalDomain(env.LocalDomain)
+	}
+	var cache *provider.ReadCache
+	if env.ReadCache {
+		cache = provider.NewReadCache(provider.ReadCacheConfig{
+			Shards:   env.CacheShards,
+			MaxBytes: env.CacheBytes,
+		})
+		router.SetReadCache(cache)
+	}
 	v := &Versioning{
 		VM:        vm,
 		Meta:      metadata.NewStore(env.MetaShards, env.MetaModel),
 		Providers: mgr,
 		Router:    router,
+		Cache:     cache,
 		Faults:    faults,
 		env:       env,
 	}
@@ -218,13 +249,16 @@ func NewVersioning(env Env) (*Versioning, error) {
 			WalkChunksPerTick: env.GCWalkRate,
 			QueueDepth:        env.GCQueue,
 		})
+		if cache != nil {
+			v.Reaper.SetReadCache(cache)
+		}
 	}
 	return v, nil
 }
 
 // Services returns the client-facing service bundle.
 func (v *Versioning) Services() blob.Services {
-	return blob.Services{VM: v.VM, Meta: v.Meta, Data: v.Router}
+	return blob.Services{VM: v.VM, Meta: v.Meta, Data: v.Router, Cache: v.Cache}
 }
 
 // Backend creates a versioning backend over a new blob sized to cover

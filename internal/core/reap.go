@@ -111,6 +111,7 @@ type ReaperStats struct {
 	AutoDropped     int64 // versions dropped by the RetainLast policy
 	WalkedRefs      int64 // retained chunk refs walked (hint verification)
 	StaleHints      int64 // refs whose replica hint disagreed with placement
+	HintsRewritten  int64 // stale hints rewritten into the shared read cache
 	WalkErrors      int64 // versions whose metadata could not be resolved
 	PendingSeen     int64 // pending version walks started
 	Enqueued        int64 // keys accepted into the delete queue
@@ -160,6 +161,7 @@ type Reaper struct {
 	catalog func() []*blob.Blob
 	pass    *reapPass
 	stats   ReaperStats
+	cache   *provider.ReadCache // stale-hint rewrite target (optional)
 
 	runMu sync.Mutex
 	stop  chan struct{}
@@ -179,6 +181,18 @@ func NewReaper(router ReapRouter, cfg ReaperConfig) *Reaper {
 
 // Config returns the effective (defaulted) configuration.
 func (r *Reaper) Config() ReaperConfig { return r.cfg }
+
+// SetReadCache wires the shared read cache into the hint walk:
+// metadata refs are immutable, so a stale hint can never be fixed in
+// place — but rewriting the CURRENT placement into the cache gives
+// every reader the corrected set without waiting for a read to stumble
+// over the stale hint and fail over first. The walk becomes the
+// repair path for hint rot, not just its auditor.
+func (r *Reaper) SetReadCache(c *provider.ReadCache) {
+	r.mu.Lock()
+	r.cache = c
+	r.mu.Unlock()
+}
 
 // RegisterBlob adds a blob to the collection walk.
 func (r *Reaper) RegisterBlob(b *blob.Blob) {
@@ -322,10 +336,13 @@ func (r *Reaper) nextWalkRef() (chunk.Ref, bool) {
 }
 
 // auditHint compares one retained ref's replica hint against
-// authoritative placement, counting rot.
+// authoritative placement, counting rot — and, with a read cache
+// wired, rewriting the current set into the cache so readers stop
+// paying the stale hint's failover.
 func (r *Reaper) auditHint(ref chunk.Ref) {
 	r.mu.Lock()
 	r.stats.WalkedRefs++
+	cache := r.cache
 	r.mu.Unlock()
 	if len(ref.Replicas) == 0 {
 		return
@@ -337,7 +354,13 @@ func (r *Reaper) auditHint(ref chunk.Ref) {
 	if !hintMatches(ref.Replicas, ids) {
 		r.mu.Lock()
 		r.stats.StaleHints++
+		if cache != nil {
+			r.stats.HintsRewritten++
+		}
 		r.mu.Unlock()
+		if cache != nil {
+			cache.FillHint(ref.Key, ids)
+		}
 	}
 }
 

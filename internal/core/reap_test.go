@@ -317,3 +317,86 @@ func TestReaperCountsStaleHints(t *testing.T) {
 		t.Fatalf("walk saw %d refs, %d stale hints; want both > 0", st.WalkedRefs, st.StaleHints)
 	}
 }
+
+// TestReaperRewritesStaleHintsIntoCache: with the shared read cache
+// wired in, the reaper's hint walk is a repair path, not just an
+// auditor — every stale ref gets the CURRENT placement written into
+// the cache, so the next read through that ref starts at the live
+// copies instead of walking the dead hint.
+func TestReaperRewritesStaleHintsIntoCache(t *testing.T) {
+	env := cluster.Default()
+	env.Providers = 4
+	env.Replicas = 2
+	env.GC = true
+	env.GCRate = 8
+	env.ReadCache = true
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := svc.Backend(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := int64(64 << 10)
+	for i := 0; i < 3; i++ {
+		l := extent.List{{Offset: 0, Length: page}, {Offset: int64(i+1) * page, Length: page / 2}}
+		buf := make([]byte, l.TotalLength())
+		vec, err := extent.NewVec(l, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := be.WriteList(vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rot the hints: kill a provider, repair, copies move.
+	if err := svc.Providers.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if rst := svc.Router.Repair(); rst.Repaired == 0 {
+		t.Fatal("repair moved nothing; hint-rot scenario not created")
+	}
+
+	st := svc.Reaper.Pass()
+	if st.StaleHints == 0 {
+		t.Fatalf("walk found no stale hints: %+v", st)
+	}
+	if st.HintsRewritten != st.StaleHints {
+		t.Fatalf("rewrote %d of %d stale hints", st.HintsRewritten, st.StaleHints)
+	}
+	// Every rewritten hint must name the chunk's CURRENT replica set.
+	rewritten := 0
+	for _, key := range svc.Router.Keys() {
+		hint, ok := svc.Cache.Hint(key)
+		if !ok {
+			continue
+		}
+		rewritten++
+		now, _ := svc.Router.Locate(key)
+		if len(hint) != len(now) {
+			t.Fatalf("chunk %s: cached hint %v, placement %v", key, hint, now)
+		}
+		for i := range hint {
+			if hint[i] != now[i] {
+				t.Fatalf("chunk %s: cached hint %v, placement %v", key, hint, now)
+			}
+		}
+	}
+	if rewritten == 0 {
+		t.Fatal("no hint landed in the cache")
+	}
+
+	// Without the cache wired, the walk stays a pure auditor.
+	svc2, _ := gcCluster(t, 2, 0)
+	if err := svc2.Providers.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if rst := svc2.Router.Repair(); rst.Repaired == 0 {
+		t.Fatal("repair moved nothing")
+	}
+	if st2 := svc2.Reaper.Pass(); st2.StaleHints == 0 || st2.HintsRewritten != 0 {
+		t.Fatalf("cache-less walk: %d stale, %d rewritten; want >0, 0", st2.StaleHints, st2.HintsRewritten)
+	}
+}

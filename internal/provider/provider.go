@@ -53,6 +53,16 @@
 //     served from authoritative placement, or placement disagrees with
 //     the hint after failover — and the caller should cache fresh in
 //     place of the hint.
+//   - Read tier: with a local domain set (SetLocalDomain) reads try
+//     same-domain replicas first, then rotate the rest — never
+//     narrowing the failover set, only reordering it. With a ReadCache
+//     wired (SetReadCache) reads are served read-through: chunk data
+//     and fresh replica-set hints are cached on success, and because
+//     chunks are immutable the ONLY invalidation signal is a placement
+//     change — every post-Put placement mutation (RepairChunk,
+//     improveSpread, trimExcess, DeleteReplicas) drops the chunk's
+//     cache entry. A stale cached hint can never fail a read: at worst
+//     it costs one extra failover, which refreshes the entry.
 //
 // # Space reclamation
 //
@@ -744,10 +754,23 @@ type placement struct {
 type Router struct {
 	*Manager
 	place    placement
-	cfg      sync.RWMutex // guards replicas/quorum/health/onDegraded
+	cfg      sync.RWMutex // guards replicas/quorum/health/onDegraded/locality/cache
 	replicas int          // copies per chunk; 0 or 1 means no replication
 	quorum   int          // copies that must land for Put to succeed; 0 = replicas-1 (min 1)
 	rdNext   atomic.Uint64
+
+	// localDomain is the failure domain this router's reads originate
+	// from; preferLocal orders same-domain replicas first (see
+	// SetReadLocality for the measure-only mode). The loc* atomics
+	// count reads served locally vs remotely while a domain is set.
+	localDomain string
+	preferLocal bool
+	locLocalReads, locRemoteReads atomic.Int64
+	locLocalBytes, locRemoteBytes atomic.Int64
+
+	// cache, when set, makes reads read-through: data and fresh hints
+	// fill it, placement changes invalidate it.
+	cache *ReadCache
 
 	// health, when set, receives the outcome of every replica store
 	// attempt — the error stream failure detection is deduced from.
@@ -835,6 +858,88 @@ func (r *Router) noteDegraded(key chunk.Key) {
 	if fn != nil {
 		fn(key)
 	}
+}
+
+// SetLocalDomain declares the failure domain this router's reads
+// originate from and turns on zone-local replica preference:
+// getFromSet tries same-domain replicas first, then the rest in
+// rotation. The failover set is never narrowed — a zone whose local
+// copies are all dead still reads remotely.
+func (r *Router) SetLocalDomain(domain string) { r.SetReadLocality(domain, true) }
+
+// SetReadLocality sets the reader's failure domain and whether to
+// PREFER local replicas. prefer=false keeps the blind rotation but
+// still counts local/remote reads — the measurement baseline the E13
+// bench compares zone-local selection against. An empty domain turns
+// locality (ordering and counting) off.
+func (r *Router) SetReadLocality(domain string, prefer bool) {
+	r.cfg.Lock()
+	r.localDomain = domain
+	r.preferLocal = prefer
+	r.cfg.Unlock()
+}
+
+// LocalDomain returns the configured reader domain ("" = unset).
+func (r *Router) LocalDomain() string {
+	r.cfg.RLock()
+	defer r.cfg.RUnlock()
+	return r.localDomain
+}
+
+// readLocality snapshots the locality configuration.
+func (r *Router) readLocality() (domain string, prefer bool) {
+	r.cfg.RLock()
+	defer r.cfg.RUnlock()
+	return r.localDomain, r.preferLocal
+}
+
+// ReadLocalityStats counts successful reads served from the reader's
+// own failure domain vs a remote one, in calls and bytes. Counted only
+// while a reader domain is set.
+type ReadLocalityStats struct {
+	LocalReads  int64
+	RemoteReads int64
+	LocalBytes  int64
+	RemoteBytes int64
+}
+
+// CrossFraction is the fraction of read bytes that crossed a domain
+// boundary (0 with no reads) — the quantity zone-local selection
+// exists to shrink.
+func (s ReadLocalityStats) CrossFraction() float64 {
+	total := s.LocalBytes + s.RemoteBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RemoteBytes) / float64(total)
+}
+
+// ReadLocality returns the cumulative local/remote read counters.
+func (r *Router) ReadLocality() ReadLocalityStats {
+	return ReadLocalityStats{
+		LocalReads:  r.locLocalReads.Load(),
+		RemoteReads: r.locRemoteReads.Load(),
+		LocalBytes:  r.locLocalBytes.Load(),
+		RemoteBytes: r.locRemoteBytes.Load(),
+	}
+}
+
+// SetReadCache wires the shared bounded read-through cache into the
+// read path (nil disables caching). The router is the cache's single
+// owner: it fills on successful reads and invalidates on every
+// placement change, so callers above (blob) only ever consult it for
+// hints.
+func (r *Router) SetReadCache(c *ReadCache) {
+	r.cfg.Lock()
+	r.cache = c
+	r.cfg.Unlock()
+}
+
+// ReadCache returns the wired cache (nil when caching is off).
+func (r *Router) ReadCache() *ReadCache {
+	r.cfg.RLock()
+	defer r.cfg.RUnlock()
+	return r.cache
 }
 
 // SetReplicas sets the replication degree R: every subsequent Put
@@ -959,67 +1064,141 @@ func (r *Router) putOne(p *Provider, key chunk.Key, data []byte) error {
 	return err
 }
 
-// Get reads a chunk sub-range by consulting the placement map, failing
-// over across replicas: down providers are skipped, and an error from
-// one replica moves on to the next. Reads rotate across the replica
-// set so replicated read load spreads over all copies. A read that
-// needed failover feeds read-repair via maybeNoteDegraded.
+// Get reads a chunk sub-range by consulting the read cache and then
+// the placement map, failing over across replicas: down providers are
+// skipped, and an error from one replica moves on to the next. Reads
+// rotate across the replica set so replicated read load spreads over
+// all copies (same-domain replicas first when a local domain is set).
+// A read that needed failover feeds read-repair via maybeNoteDegraded.
 func (r *Router) Get(key chunk.Key, off, length int64) ([]byte, error) {
-	r.place.mu.RLock()
-	ids, ok := r.place.m[key]
-	r.place.mu.RUnlock()
+	cache := r.ReadCache()
+	if cache != nil {
+		if data, ok := cache.GetData(key, off, length); ok {
+			return data, nil
+		}
+	}
+	// Locate copies the replica slice under the lock. Reading the map
+	// entry directly and iterating after unlock — as this path once
+	// did — depends on every writer installing a fresh slice; copying
+	// here removes the read path's only use of that invariant.
+	ids, ok := r.Locate(key)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", chunk.ErrNotFound, key)
 	}
 	data, skips, storeErrs, err := r.getFromSet(ids, key, off, length)
-	if err == nil && skips+storeErrs > 0 {
+	if err != nil {
+		return nil, err
+	}
+	if skips+storeErrs > 0 {
 		r.maybeNoteDegraded(key, storeErrs)
 	}
-	return data, err
+	r.fillData(cache, key, data, off)
+	return data, nil
 }
 
 // GetFrom reads like Get but tries the given replica set first — the
-// replica hint carried by chunk.Ref in metadata. If every hinted
-// replica fails (stale hint after a repair moved the copies), it falls
-// back to the router's own placement map. A non-nil fresh return means
-// the hint is out of date — either the fallback served the read, or
-// the hint needed failover and placement records a different set — and
-// the caller should replace it (blob caches it so later reads of the
-// same chunk skip the dead copies).
+// replica hint carried by chunk.Ref in metadata. The read cache is
+// consulted before any provider: cached data serves the read outright,
+// and a cached fresh set (left by an earlier read that corrected a
+// stale hint) supersedes the caller's hint. If every hinted replica
+// fails (stale hint after a repair moved the copies), it falls back to
+// the router's own placement map, capturing the set that served the
+// read in the SAME placement acquisition the read used. A non-nil
+// fresh return means the hint is out of date — the fallback served the
+// read, a cached set did, or the hint needed failover and placement
+// records a different set — and the caller should replace it (blob
+// caches it so later reads of the same chunk skip the dead copies).
 func (r *Router) GetFrom(replicas []ID, key chunk.Key, off, length int64) (data []byte, fresh []ID, err error) {
+	cache := r.ReadCache()
+	if cache != nil {
+		if data, ok := cache.GetData(key, off, length); ok {
+			if hint, ok := cache.Hint(key); ok && !sameIDSet(hint, replicas) {
+				return data, hint, nil
+			}
+			return data, nil, nil
+		}
+		if hint, ok := cache.Hint(key); ok && !sameIDSet(hint, replicas) {
+			// The cache holds a fresher set than the caller's hint; a
+			// set that fails entirely is dropped (placement moved again)
+			// and the normal path below retries from scratch.
+			data, skips, storeErrs, herr := r.getFromSet(hint, key, off, length)
+			if herr == nil {
+				if skips+storeErrs > 0 {
+					r.maybeNoteDegraded(key, storeErrs)
+				}
+				r.fillData(cache, key, data, off)
+				return data, hint, nil
+			}
+			cache.Invalidate(key)
+		}
+	}
 	if len(replicas) > 0 {
 		data, skips, storeErrs, err := r.getFromSet(replicas, key, off, length)
 		if err == nil {
+			r.fillData(cache, key, data, off)
 			if skips+storeErrs > 0 {
 				r.maybeNoteDegraded(key, storeErrs)
 				if fresh, ok := r.Locate(key); ok && !sameIDSet(fresh, replicas) {
+					r.fillHint(cache, key, fresh)
 					return data, fresh, nil
 				}
 			}
 			return data, nil, nil
 		}
 	}
-	data, err = r.Get(key, off, length)
-	if err != nil {
-		return nil, nil, err
+	// Fallback: every hinted replica failed. Snapshot the authoritative
+	// set ONCE and read from exactly that snapshot, so the fresh set we
+	// return is the set that served the read — calling Get and then
+	// Locate as two acquisitions (as this path once did) let a repair
+	// slip between them and hand the caller a set that never served
+	// anything.
+	ids, ok := r.Locate(key)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", chunk.ErrNotFound, key)
 	}
-	fresh, _ = r.Locate(key)
-	return data, fresh, nil
+	data, skips, storeErrs, gerr := r.getFromSet(ids, key, off, length)
+	if gerr != nil {
+		return nil, nil, gerr
+	}
+	if skips+storeErrs > 0 {
+		r.maybeNoteDegraded(key, storeErrs)
+	}
+	r.fillData(cache, key, data, off)
+	r.fillHint(cache, key, ids)
+	return data, ids, nil
 }
 
-// getFromSet tries each replica in rotated order and returns the first
-// successful read, along with failover accounting: skips counts
-// replicas bypassed on flags (down or unknown), storeErrs counts real
-// store errors observed before the success. Every real store attempt
-// reports its outcome to the health monitor.
+// fillData caches a successful read's bytes when the read covered a
+// prefix of the chunk (off == 0, the common whole-fragment read — the
+// cache stores prefixes, see ReadCache).
+func (r *Router) fillData(cache *ReadCache, key chunk.Key, data []byte, off int64) {
+	if cache == nil || off != 0 || len(data) == 0 {
+		return
+	}
+	cache.FillData(key, append([]byte(nil), data...))
+}
+
+// fillHint caches a fresh replica set alongside any cached data.
+func (r *Router) fillHint(cache *ReadCache, key chunk.Key, ids []ID) {
+	if cache != nil {
+		cache.FillHint(key, ids)
+	}
+}
+
+// getFromSet tries each replica in preference order (see replicaOrder)
+// and returns the first successful read, along with failover
+// accounting: skips counts replicas bypassed on flags (down or
+// unknown), storeErrs counts real store errors observed before the
+// success. Every real store attempt reports its outcome to the health
+// monitor, and successful reads feed the locality counters when a
+// reader domain is set.
 func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) (data []byte, skips, storeErrs int, err error) {
 	if len(ids) == 0 {
 		return nil, 0, 0, fmt.Errorf("%w: %s (empty replica set)", chunk.ErrNotFound, key)
 	}
-	start := r.rdNext.Add(1) - 1
+	local, prefer := r.readLocality()
 	var lastErr error
-	for i := 0; i < len(ids); i++ {
-		id := ids[(start+uint64(i))%uint64(len(ids))]
+	for _, id := range r.replicaOrder(ids, local, prefer) {
 		p := r.byID(id)
 		if p == nil {
 			lastErr = fmt.Errorf("provider: placement references unknown provider %d", id)
@@ -1034,12 +1213,54 @@ func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) (data []
 		data, err := p.Store().Get(key, off, length)
 		r.reportError(id, err)
 		if err == nil {
+			if local != "" {
+				if p.Domain() == local {
+					r.locLocalReads.Add(1)
+					r.locLocalBytes.Add(int64(len(data)))
+				} else {
+					r.locRemoteReads.Add(1)
+					r.locRemoteBytes.Add(int64(len(data)))
+				}
+			}
 			return data, skips, storeErrs, nil
 		}
 		storeErrs++
 		lastErr = fmt.Errorf("provider %d: %w", id, err)
 	}
 	return nil, skips, storeErrs, fmt.Errorf("provider: all %d replicas of %s failed: %w", len(ids), key, lastErr)
+}
+
+// replicaOrder returns the order getFromSet tries a replica set in:
+// rotated by the shared read cursor so replicated read load spreads
+// over all copies, then — when the reader prefers its own domain —
+// stably partitioned with same-domain replicas first. Partitioning
+// preserves the rotation within each group, so load still balances
+// across the local copies; the remote copies remain in the order as
+// failover targets, never dropped.
+func (r *Router) replicaOrder(ids []ID, local string, prefer bool) []ID {
+	start := r.rdNext.Add(1) - 1
+	out := make([]ID, 0, len(ids))
+	for i := 0; i < len(ids); i++ {
+		out = append(out, ids[(start+uint64(i))%uint64(len(ids))])
+	}
+	if !prefer || local == "" || len(out) < 2 {
+		return out
+	}
+	ordered := make([]ID, 0, len(out))
+	for _, id := range out {
+		if r.DomainOf(id) == local {
+			ordered = append(ordered, id)
+		}
+	}
+	if len(ordered) == 0 || len(ordered) == len(out) {
+		return out
+	}
+	for _, id := range out {
+		if r.DomainOf(id) != local {
+			ordered = append(ordered, id)
+		}
+	}
+	return ordered
 }
 
 // maybeNoteDegraded decides whether a read that needed failover should
@@ -1077,6 +1298,30 @@ func sameIDSet(a, b []ID) bool {
 		seen[id]--
 	}
 	return true
+}
+
+// setPlacement installs a chunk's new replica set and invalidates any
+// cached state for it: placement changed, so a cached hint is stale
+// (the cached DATA would still be valid — chunks are immutable — but
+// dropping the whole entry keeps the invalidation surface trivial).
+// Every placement mutation after the initial Put goes through here or
+// through DeleteReplicas' retire path; Put installs directly because
+// nothing can be cached for a key that was never readable.
+func (r *Router) setPlacement(key chunk.Key, ids []ID) {
+	r.place.mu.Lock()
+	r.place.m[key] = ids
+	r.place.mu.Unlock()
+	r.invalidateCached(key)
+}
+
+// invalidateCached drops a chunk's read-cache entry, if a cache is
+// wired. A read racing this may re-fill the entry a moment later;
+// that is safe (see the ReadCache contract) because data is immutable
+// and a stale re-filled hint self-corrects on its next use.
+func (r *Router) invalidateCached(key chunk.Key) {
+	if c := r.ReadCache(); c != nil {
+		c.Invalidate(key)
+	}
 }
 
 // Locate returns the replica set recorded for the key.
@@ -1268,16 +1513,12 @@ func (r *Router) RepairChunk(key chunk.Key) (outcome RepairOutcome, copied int, 
 		// repair, and never reclaimed by DeleteReplicas.
 		if len(newIDs) > len(live) {
 			copied = len(newIDs) - len(live)
-			r.place.mu.Lock()
-			r.place.m[key] = newIDs
-			r.place.mu.Unlock()
+			r.setPlacement(key, newIDs)
 		}
 		return RepairPartial, copied, rerr
 	}
 	copied = len(newIDs) - len(live)
-	r.place.mu.Lock()
-	r.place.m[key] = newIDs
-	r.place.mu.Unlock()
+	r.setPlacement(key, newIDs)
 	if len(newIDs) >= want {
 		return RepairRepaired, copied, nil
 	}
@@ -1547,9 +1788,7 @@ func (r *Router) improveSpread(key chunk.Key, live []ID) (moved bool, err error)
 		break
 	}
 	newSet = append(newSet, target.ID())
-	r.place.mu.Lock()
-	r.place.m[key] = newSet
-	r.place.mu.Unlock()
+	r.setPlacement(key, newSet)
 	return true, nil
 }
 
@@ -1586,9 +1825,7 @@ func (r *Router) trimExcess(key chunk.Key, live []ID, want int) {
 		trimmed = true
 	}
 	if trimmed {
-		r.place.mu.Lock()
-		r.place.m[key] = out
-		r.place.mu.Unlock()
+		r.setPlacement(key, out)
 	}
 }
 
@@ -1651,6 +1888,9 @@ func (r *Router) DeleteReplicas(key chunk.Key) (removed int, bytes int64, err er
 		r.place.m[key] = remaining
 	}
 	r.place.mu.Unlock()
+	// The chunk's copies moved or vanished either way: drop whatever
+	// the read tier cached for it.
+	r.invalidateCached(key)
 	if len(remaining) > 0 {
 		return removed, bytes, fmt.Errorf("provider: %d replicas of %s not deleted: %w",
 			len(remaining), key, errors.Join(failures...))

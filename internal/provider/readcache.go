@@ -1,0 +1,343 @@
+// The bounded sharded read-through cache of the hot-path read tier.
+//
+// Chunks are immutable: once written, a chunk's BYTES can never change,
+// only its PLACEMENT can rot (a repair moves the copies, the collector
+// deletes them). That asymmetry makes a read cache almost free
+// correctness-wise — cached data never goes stale, and the only
+// invalidation signal needed is a placement change, which the router
+// funnels through exactly two call sites (RepairChunk and
+// DeleteReplicas, both under the per-chunk in-flight claim).
+//
+// The cache serves two things per chunk key:
+//
+//   - data: a prefix [0, len) of the chunk's bytes, filled by
+//     successful whole-prefix reads (off == 0). Sub-range reads inside
+//     the prefix are served without touching any provider.
+//   - hint: the freshest replica set observed for the chunk, filled
+//     from the fresh-set returns the stale-hint machinery already
+//     produces (see GetFrom) and from the reaper's hint-rewrite. A
+//     cached hint is advisory: at worst it is stale and costs one
+//     failover that refreshes it; it can never fail a read.
+//
+// Capacity is bounded in bytes, split evenly across a fixed power-of-two
+// shard count (one lock per shard, so concurrent readers on different
+// chunks never contend). Each shard trims under pressure: inserts that
+// push the shard past its budget evict entries in insertion order until
+// it fits. Invalidation is best-effort against in-flight fills — a read
+// racing a repair may re-install an entry the repair just dropped — but
+// that is safe for the same reason the cache exists at all: data is
+// immutable and hints self-correct on the next read.
+package provider
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chunk"
+)
+
+// ReadCacheConfig sizes a ReadCache. Zero fields select defaults.
+type ReadCacheConfig struct {
+	// Shards is the fixed shard count, rounded up to a power of two
+	// (default 16). More shards means less lock contention.
+	Shards int
+	// MaxBytes bounds the cache's total footprint across all shards —
+	// cached chunk bytes plus a nominal cost per hint entry
+	// (default 64 MiB).
+	MaxBytes int64
+}
+
+func (c ReadCacheConfig) withDefaults() ReadCacheConfig {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 20
+	}
+	return c
+}
+
+// ReadCacheStats are cumulative cache counters plus the current
+// footprint.
+type ReadCacheStats struct {
+	Hits       int64 // data lookups served from the cache
+	Misses     int64 // data lookups that went to a provider
+	HintHits   int64 // hint lookups that found a cached replica set
+	HintMisses int64
+	Fills      int64 // data entries installed or grown
+	HintFills  int64 // hint entries installed or replaced
+	Evictions  int64 // entries trimmed under capacity pressure
+	Invalidations int64 // entries dropped by placement changes
+	Entries    int   // current entry count
+	Bytes      int64 // current footprint
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no lookups.
+func (s ReadCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// cacheEntry is one chunk's cached state: a data prefix, a replica-set
+// hint, or both.
+type cacheEntry struct {
+	data []byte // prefix [0, len) of the chunk; nil = hint-only
+	hint []ID   // freshest replica set observed; nil = data-only
+}
+
+// entryOverhead is the nominal bookkeeping cost charged per entry, so
+// a flood of hint-only entries (the old per-handle leak) is bounded by
+// MaxBytes too, not just data.
+const entryOverhead = 64
+
+func (e *cacheEntry) cost() int64 {
+	return int64(len(e.data)) + int64(len(e.hint))*8 + entryOverhead
+}
+
+// cacheShard is one lock domain of the cache.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[chunk.Key]*cacheEntry
+	order   []chunk.Key // insertion order; the trim victim queue
+	bytes   int64
+}
+
+// ReadCache is the shared bounded read-through cache. Safe for
+// concurrent use. See the file comment for the contract.
+type ReadCache struct {
+	shards   []cacheShard
+	mask     uint64
+	perShard int64
+
+	hits, misses         atomic.Int64
+	hintHits, hintMisses atomic.Int64
+	fills, hintFills     atomic.Int64
+	evictions            atomic.Int64
+	invalidations        atomic.Int64
+}
+
+// NewReadCache builds a cache with the given (defaulted) configuration.
+func NewReadCache(cfg ReadCacheConfig) *ReadCache {
+	cfg = cfg.withDefaults()
+	c := &ReadCache{
+		shards:   make([]cacheShard, cfg.Shards),
+		mask:     uint64(cfg.Shards - 1),
+		perShard: cfg.MaxBytes / int64(cfg.Shards),
+	}
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[chunk.Key]*cacheEntry)
+	}
+	return c
+}
+
+// shardFor hashes a chunk key onto its shard (FNV-1a over the key
+// fields).
+func (c *ReadCache) shardFor(key chunk.Key) *cacheShard {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(key.Blob)
+	mix(key.Version)
+	mix(uint64(key.Index))
+	return &c.shards[h&c.mask]
+}
+
+// GetData serves a sub-range read from the cached prefix, if the whole
+// requested range lies inside it. The returned slice is a copy.
+func (c *ReadCache) GetData(key chunk.Key, off, length int64) ([]byte, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil || e.data == nil || off < 0 || length < 0 || off+length > int64(len(e.data)) {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	out := make([]byte, length)
+	copy(out, e.data[off:off+length])
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return out, true
+}
+
+// Hint returns the cached fresh replica set for a chunk, if any. The
+// returned slice is a copy.
+func (c *ReadCache) Hint(key chunk.Key) ([]ID, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil || e.hint == nil {
+		s.mu.Unlock()
+		c.hintMisses.Add(1)
+		return nil, false
+	}
+	out := make([]ID, len(e.hint))
+	copy(out, e.hint)
+	s.mu.Unlock()
+	c.hintHits.Add(1)
+	return out, true
+}
+
+// FillData installs (or grows) a chunk's cached prefix. data must be
+// the chunk's bytes starting at offset 0; the cache takes ownership of
+// the slice. Shorter prefixes than the cached one are ignored.
+func (c *ReadCache) FillData(key chunk.Key, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if c.fill(key, func(e *cacheEntry) bool {
+		if len(e.data) >= len(data) {
+			return false
+		}
+		e.data = data
+		return true
+	}) {
+		c.fills.Add(1)
+	}
+}
+
+// FillHint installs (or replaces) a chunk's cached replica set. The
+// ids slice is copied.
+func (c *ReadCache) FillHint(key chunk.Key, ids []ID) {
+	if len(ids) == 0 {
+		return
+	}
+	if c.fill(key, func(e *cacheEntry) bool {
+		e.hint = append([]ID(nil), ids...)
+		return true
+	}) {
+		c.hintFills.Add(1)
+	}
+}
+
+// fill applies update to the key's entry (creating it if needed) and
+// trims the shard under pressure. update returns false to leave the
+// entry untouched; fill reports whether the value was installed.
+func (c *ReadCache) fill(key chunk.Key, update func(*cacheEntry) bool) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
+	fresh := e == nil
+	if fresh {
+		e = &cacheEntry{}
+	}
+	before := e.cost()
+	if !update(e) {
+		return false
+	}
+	if e.cost() > c.perShard {
+		// A single entry over the shard budget would evict everything
+		// else and still not fit; refuse it instead.
+		if fresh {
+			return false
+		}
+		s.bytes -= before
+		delete(s.entries, key)
+		c.evictions.Add(1)
+		return false
+	}
+	if fresh {
+		s.entries[key] = e
+		s.order = append(s.order, key)
+		s.bytes += e.cost()
+	} else {
+		s.bytes += e.cost() - before
+	}
+	// Trim under pressure: evict in insertion order until the shard
+	// fits its budget again.
+	for s.bytes > c.perShard && len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		ve := s.entries[victim]
+		if ve == nil {
+			continue // already invalidated
+		}
+		if victim == key {
+			// Never evict the entry being filled this instant; requeue
+			// it behind the others.
+			s.order = append(s.order, victim)
+			if len(s.order) == 1 {
+				break
+			}
+			continue
+		}
+		s.bytes -= ve.cost()
+		delete(s.entries, victim)
+		c.evictions.Add(1)
+	}
+	return true
+}
+
+// Invalidate drops everything cached for a chunk — called by the
+// router when the chunk's placement changes (repair moved the copies,
+// or the collector deleted them).
+func (c *ReadCache) Invalidate(key chunk.Key) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e := s.entries[key]; e != nil {
+		s.bytes -= e.cost()
+		delete(s.entries, key)
+		c.invalidations.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the current entry count.
+func (c *ReadCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the current footprint.
+func (c *ReadCache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ReadCache) Stats() ReadCacheStats {
+	return ReadCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		HintHits:      c.hintHits.Load(),
+		HintMisses:    c.hintMisses.Load(),
+		Fills:         c.fills.Load(),
+		HintFills:     c.hintFills.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       c.Len(),
+		Bytes:         c.Bytes(),
+	}
+}

@@ -1,0 +1,186 @@
+package provider
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+)
+
+func cacheKey(i int) chunk.Key {
+	return chunk.Key{Blob: 1, Version: 1, Index: uint32(i)}
+}
+
+func TestReadCacheDataPrefixSemantics(t *testing.T) {
+	c := NewReadCache(ReadCacheConfig{})
+	key := cacheKey(0)
+	if _, ok := c.GetData(key, 0, 4); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.FillData(key, []byte("hello world"))
+	got, ok := c.GetData(key, 6, 5)
+	if !ok || string(got) != "world" {
+		t.Fatalf("GetData = %q,%v want %q", got, ok, "world")
+	}
+	// Reads past the cached prefix must miss, not truncate.
+	if _, ok := c.GetData(key, 6, 6); ok {
+		t.Fatal("hit past the cached prefix")
+	}
+	if _, ok := c.GetData(key, -1, 2); ok {
+		t.Fatal("hit on a negative offset")
+	}
+	// A shorter fill never shrinks the cached prefix.
+	c.FillData(key, []byte("hel"))
+	if got, ok := c.GetData(key, 0, 11); !ok || string(got) != "hello world" {
+		t.Fatalf("prefix shrank: %q,%v", got, ok)
+	}
+	// The returned slice is a copy: corrupting it must not corrupt the
+	// cache.
+	got, _ = c.GetData(key, 0, 5)
+	got[0] = 'X'
+	if again, _ := c.GetData(key, 0, 5); string(again) != "hello" {
+		t.Fatalf("caller write leaked into the cache: %q", again)
+	}
+}
+
+func TestReadCacheHints(t *testing.T) {
+	c := NewReadCache(ReadCacheConfig{})
+	key := cacheKey(0)
+	if _, ok := c.Hint(key); ok {
+		t.Fatal("hint hit on an empty cache")
+	}
+	ids := []ID{3, 1, 4}
+	c.FillHint(key, ids)
+	got, ok := c.Hint(key)
+	if !ok || !sameIDSet(got, ids) {
+		t.Fatalf("Hint = %v,%v want %v", got, ok, ids)
+	}
+	// The stored hint is a copy of the fill argument and the returned
+	// hint a copy of the stored one.
+	ids[0] = 99
+	got[1] = 99
+	if again, _ := c.Hint(key); !sameIDSet(again, []ID{3, 1, 4}) {
+		t.Fatalf("caller write leaked into the cached hint: %v", again)
+	}
+	// Data and hint coexist on one entry; Invalidate drops both.
+	c.FillData(key, []byte("data"))
+	c.Invalidate(key)
+	if _, ok := c.GetData(key, 0, 4); ok {
+		t.Fatal("data survived Invalidate")
+	}
+	if _, ok := c.Hint(key); ok {
+		t.Fatal("hint survived Invalidate")
+	}
+	if st := c.Stats(); st.Invalidations != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("post-invalidate stats: %+v", st)
+	}
+}
+
+// TestReadCacheBounded floods the cache far past its capacity and
+// asserts the byte bound holds — the regression guard for the unbounded
+// per-handle hint map this cache retired.
+func TestReadCacheBounded(t *testing.T) {
+	const maxBytes = 64 << 10
+	c := NewReadCache(ReadCacheConfig{Shards: 4, MaxBytes: maxBytes})
+	payload := make([]byte, 1024)
+	for i := 0; i < 4096; i++ {
+		c.FillData(cacheKey(i), append([]byte(nil), payload...))
+		c.FillHint(cacheKey(i), []ID{ID(i % 7), ID(i % 5)})
+	}
+	if got := c.Bytes(); got > maxBytes {
+		t.Fatalf("cache holds %d bytes after flood, bound is %d", got, maxBytes)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("flood past capacity evicted nothing: %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Fatal("trim evicted everything; recent entries should survive")
+	}
+	// Hint-only entries are bounded too (they carry entryOverhead).
+	c2 := NewReadCache(ReadCacheConfig{Shards: 1, MaxBytes: 8 << 10})
+	for i := 0; i < 100000; i++ {
+		c2.FillHint(cacheKey(i), []ID{1, 2})
+	}
+	if got := c2.Bytes(); got > 8<<10 {
+		t.Fatalf("hint flood holds %d bytes, bound is %d", got, 8<<10)
+	}
+}
+
+// TestReadCacheOversizeEntryRefused: a single value larger than a
+// shard's budget must not evict the whole shard just to fail to fit.
+func TestReadCacheOversizeEntryRefused(t *testing.T) {
+	c := NewReadCache(ReadCacheConfig{Shards: 1, MaxBytes: 4 << 10})
+	c.FillData(cacheKey(1), make([]byte, 512))
+	c.FillData(cacheKey(2), make([]byte, 8<<10)) // over the whole budget
+	if _, ok := c.GetData(cacheKey(2), 0, 8<<10); ok {
+		t.Fatal("oversize entry was cached")
+	}
+	if _, ok := c.GetData(cacheKey(1), 0, 512); !ok {
+		t.Fatal("oversize refusal evicted an unrelated entry")
+	}
+	// Growing an existing entry past the budget drops it rather than
+	// carrying an over-budget resident.
+	c.FillData(cacheKey(1), make([]byte, 8<<10))
+	if _, ok := c.GetData(cacheKey(1), 0, 512); ok {
+		t.Fatal("entry grown past the budget stayed resident")
+	}
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("bytes = %d after refusals, want 0", got)
+	}
+}
+
+func TestReadCacheStatsAndHitRate(t *testing.T) {
+	c := NewReadCache(ReadCacheConfig{})
+	key := cacheKey(0)
+	c.GetData(key, 0, 1) // miss
+	c.FillData(key, []byte("abcd"))
+	c.GetData(key, 0, 4) // hit
+	c.GetData(key, 1, 2) // hit
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Fills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("HitRate = %v, want 2/3", got)
+	}
+	if (ReadCacheStats{}).HitRate() != 0 {
+		t.Fatal("empty HitRate not 0")
+	}
+}
+
+// TestReadCacheConcurrent hammers fills, lookups and invalidations from
+// many goroutines — meaningful under -race, and asserts the byte bound
+// holds throughout.
+func TestReadCacheConcurrent(t *testing.T) {
+	const maxBytes = 32 << 10
+	c := NewReadCache(ReadCacheConfig{Shards: 4, MaxBytes: maxBytes})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := cacheKey(i % 64)
+				switch (g + i) % 4 {
+				case 0:
+					c.FillData(key, []byte(fmt.Sprintf("payload-%d", i%64)))
+				case 1:
+					c.FillHint(key, []ID{ID(i % 8), ID((i + 1) % 8)})
+				case 2:
+					if data, ok := c.GetData(key, 0, 8); ok && string(data) != fmt.Sprintf("payload-%d", i%64)[:8] {
+						t.Errorf("corrupt cached data %q for %v", data, key)
+					}
+					c.Hint(key)
+				default:
+					c.Invalidate(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Bytes(); got > maxBytes {
+		t.Fatalf("cache holds %d bytes after concurrent churn, bound is %d", got, maxBytes)
+	}
+}

@@ -401,6 +401,32 @@ func (s *DataServer) Usage(_ *UsageArgs, reply *[]provider.ProviderUsage) error 
 	return nil
 }
 
+// ReadTierArgs selects the read-tier snapshot.
+type ReadTierArgs struct{}
+
+// ReadTierReply reports the node's hot-path read-tier state: the
+// configured reader domain with its locality counters, and — when the
+// bounded read-through cache is enabled — the cache counters.
+type ReadTierReply struct {
+	LocalDomain  string
+	Locality     provider.ReadLocalityStats
+	CacheEnabled bool
+	Cache        provider.ReadCacheStats
+}
+
+// ReadTier RPC: zone-local read statistics and cache counters
+// (bsctl readtier). Always answers; the reply's fields report which
+// parts of the tier (locality, cache) this node has enabled.
+func (s *DataServer) ReadTier(_ *ReadTierArgs, reply *ReadTierReply) error {
+	reply.LocalDomain = s.R.LocalDomain()
+	reply.Locality = s.R.ReadLocality()
+	if c := s.R.ReadCache(); c != nil {
+		reply.CacheEnabled = true
+		reply.Cache = c.Stats()
+	}
+	return nil
+}
+
 // GCArgs selects the garbage-collection operation.
 type GCArgs struct {
 	// Sync, when set, runs a full collection pass (retention, diff
@@ -739,4 +765,12 @@ func (c *Client) GC(sync bool) (core.ReaperStats, error) {
 	var st core.ReaperStats
 	err := c.data.Call(dataService+".GC", &GCArgs{Sync: sync}, &st)
 	return st, err
+}
+
+// ReadTier returns the data node's read-tier snapshot: reader domain,
+// locality counters, and cache statistics when the cache is enabled.
+func (c *Client) ReadTier() (ReadTierReply, error) {
+	var reply ReadTierReply
+	err := c.data.Call(dataService+".ReadTier", &ReadTierArgs{}, &reply)
+	return reply, err
 }

@@ -1,0 +1,260 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/extent"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// ReadTierConfig parameterizes one read-tier torture run: the
+// correlated-loss schedule (overlap-heavy writes, whole-domain
+// store-level kill, autonomous healing) with the full hot-path read
+// tier switched ON — zone-local replica selection from zone0 and the
+// shared bounded read-through cache — while skewed hot/cold readers
+// hammer the file before, during and after the kill. The schedule
+// exists to prove the tier is read-only in its effects: placements rot
+// under the kill and the repairs, the cache holds data and hints from
+// before both, and not one read may fail for it.
+type ReadTierConfig struct {
+	DomainConfig
+	// Readers is the number of concurrent reader goroutines (default 4).
+	Readers int
+	// ReadsPerReader is the picks each reader replays per read phase
+	// (default 200).
+	ReadsPerReader int
+}
+
+// ReadTierReport summarizes one read-tier run.
+type ReadTierReport struct {
+	Plan        DomainPlan
+	FailedCalls int   // writes that failed (must be 0)
+	Reads       int64 // reads issued across both phases (all must succeed)
+	CacheHits   int64 // data reads served from memory
+	Invalidated int64 // cache entries dropped by placement changes
+	Detected    int   // victims the monitor flagged down
+	Ticks       int   // healer ticks to full re-replication and spread
+	Scrubbed    int   // versions read back in full after the heal
+}
+
+// RunReadTier executes the read-tier schedule. The contract it checks,
+// on top of RunDomain's write-side guarantees:
+//
+//   - Zero failed reads, ever: while readers race the writers and the
+//     whole-domain kill, and again in a full post-kill pass when the
+//     cache is primed with pre-kill data and hints and every placement
+//     referencing the dead domain is stale. A stale cached hint may
+//     cost a failover, never a failure.
+//   - The cache actually serves the hot set (hits > 0) and placement
+//     changes actually flow through it (invalidations > 0 once the
+//     healer re-replicates out of the dead domain).
+//   - The outcome stays serializable read THROUGH the cache, healing
+//     converges, every victim is detected, and every snapshot scrubs
+//     clean — durability untouched by the read tier.
+func RunReadTier(cfg ReadTierConfig) (ReadTierReport, error) {
+	if cfg.Replicas < 2 {
+		return ReadTierReport{}, errors.New("torture: RunReadTier needs R >= 2")
+	}
+	if cfg.Providers <= 0 {
+		cfg.Providers = 8
+	}
+	if cfg.Domains <= 0 {
+		cfg.Domains = 4
+	}
+	if cfg.Domains <= cfg.Replicas {
+		return ReadTierReport{}, fmt.Errorf("torture: RunReadTier needs Domains > Replicas (got %d <= %d)",
+			cfg.Domains, cfg.Replicas)
+	}
+	if cfg.MaxTicks <= 0 {
+		cfg.MaxTicks = 400
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 4
+	}
+	if cfg.ReadsPerReader <= 0 {
+		cfg.ReadsPerReader = 200
+	}
+	perWriter, err := cfg.Calls()
+	if err != nil {
+		return ReadTierReport{}, err
+	}
+	plan := cfg.DomainConfig.Plan()
+	report := ReadTierReport{Plan: plan}
+
+	env := domainEnv(cfg.DomainConfig)
+	env.ReadCache = true
+	env.LocalDomain = "zone0" // the victim domain may be zone0 itself: locality must degrade, not fail
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		return report, err
+	}
+	be, err := svc.Backend(1, cfg.Span())
+	if err != nil {
+		return report, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+
+	// Virtual clock: one healer tick = one virtual second.
+	var vsec atomic.Int64
+	svc.Health.SetClock(func() time.Time { return time.Unix(vsec.Load(), 0) })
+
+	// Readers replay a seeded hot/cold pick sequence as whole-chunk
+	// reads clipped to the window — the skew that makes the cache
+	// earn its hits.
+	chunks := int(cfg.Window / env.ChunkSize)
+	if chunks < 1 {
+		chunks = 1
+	}
+	pattern := workload.HotColdSpec{Chunks: chunks, HotFraction: 0.25, HotProb: 0.9}
+	var reads atomic.Int64
+	readPhase := func(phase int) error {
+		errs := make([]error, cfg.Readers)
+		var wg sync.WaitGroup
+		for r := 0; r < cfg.Readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				pick := pattern.Picker(cfg.Seed ^ int64(phase*1000+r))
+				for i := 0; i < cfg.ReadsPerReader; i++ {
+					off := int64(pick()) * env.ChunkSize
+					length := env.ChunkSize
+					if off+length > cfg.Window {
+						length = cfg.Window - off
+					}
+					_, err := d.ReadList(extent.List{{Offset: off, Length: length}}, true)
+					reads.Add(1)
+					if err != nil {
+						errs[r] = fmt.Errorf("reader %d read %d: %w", r, i, err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	}
+
+	// Phase 1: writers, the whole-domain kill, and readers all racing.
+	var completed atomic.Int64
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			for _, id := range plan.Victims {
+				svc.Faults[id].SetDown(true)
+			}
+		})
+	}
+	var mu sync.Mutex
+	okCalls := make([]verify.Call, 0, cfg.Writers*cfg.CallsPerWriter)
+	var failures []error
+	var readErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		readErr = readPhase(1)
+	}()
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, call := range perWriter[w] {
+				vec, err := verify.MakeVec(call)
+				if err == nil {
+					err = d.WriteList(vec, true)
+				}
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, fmt.Errorf("call %d: %w", call.ID, err))
+				} else {
+					okCalls = append(okCalls, call)
+				}
+				mu.Unlock()
+				if int(completed.Add(1)) >= plan.AfterCalls {
+					kill()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	kill()
+
+	report.FailedCalls = len(failures)
+	if len(failures) > 0 {
+		return report, fmt.Errorf("torture(seed=%d): writes failed under the read tier: %w",
+			cfg.Seed, errors.Join(failures...))
+	}
+	if readErr != nil {
+		return report, fmt.Errorf("torture(seed=%d): reads failed racing the domain kill: %w", cfg.Seed, readErr)
+	}
+
+	// Phase 2: the domain is dead, nothing is healed yet, and the cache
+	// is primed with pre-kill data and hints. Every read must still
+	// succeed — stale cache state may cost failovers, never failures.
+	if err := readPhase(2); err != nil {
+		return report, fmt.Errorf("torture(seed=%d): reads failed on the unhealed degraded cluster: %w", cfg.Seed, err)
+	}
+
+	// Serializability read THROUGH the cache: the verifier's reads take
+	// the same cached path the torture readers warmed up.
+	if err := verify.CheckCalls(reader{d}, okCalls); err != nil {
+		return report, fmt.Errorf("torture(seed=%d): %w", cfg.Seed, err)
+	}
+
+	// Autonomous healing converges with the cache bolted on; every
+	// re-replication is a placement change the cache must absorb.
+	report.Ticks = -1
+	for t := 1; t <= cfg.MaxTicks; t++ {
+		vsec.Add(1)
+		svc.Healer.Tick()
+		if svc.Healer.QueueLen() == 0 && svc.Router.UnderReplicated() == 0 && len(svc.Router.SpreadAudit()) == 0 {
+			report.Ticks = t
+			break
+		}
+	}
+	if report.Ticks < 0 {
+		return report, fmt.Errorf("torture(seed=%d): %d under-replicated / %d spread-violated chunks remain after %d ticks with the cache on: %+v",
+			cfg.Seed, svc.Router.UnderReplicated(), len(svc.Router.SpreadAudit()), cfg.MaxTicks, svc.Healer.Stats())
+	}
+	for _, id := range plan.Victims {
+		if svc.Health.State(id) == provider.Down {
+			report.Detected++
+		}
+	}
+	if report.Detected != len(plan.Victims) {
+		return report, fmt.Errorf("torture(seed=%d): only %d of %d domain victims detected down", cfg.Seed, report.Detected, len(plan.Victims))
+	}
+
+	// Phase 3: post-heal reads — placements moved again under the
+	// healer; the cache must have followed.
+	if err := readPhase(3); err != nil {
+		return report, fmt.Errorf("torture(seed=%d): reads failed after healing: %w", cfg.Seed, err)
+	}
+
+	n, err := be.Scrub()
+	report.Scrubbed = n
+	if err != nil {
+		return report, fmt.Errorf("torture(seed=%d): snapshot unreadable with the read tier on: %w", cfg.Seed, err)
+	}
+
+	report.Reads = reads.Load()
+	st := svc.Cache.Stats()
+	report.CacheHits = st.Hits
+	report.Invalidated = st.Invalidations
+	if report.CacheHits == 0 {
+		return report, fmt.Errorf("torture(seed=%d): the hot/cold readers never hit the cache: %+v", cfg.Seed, st)
+	}
+	if report.Invalidated == 0 {
+		return report, fmt.Errorf("torture(seed=%d): healing re-replicated out of a dead domain yet invalidated nothing — placement changes are bypassing the cache: %+v",
+			cfg.Seed, st)
+	}
+	return report, nil
+}

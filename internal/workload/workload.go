@@ -1,13 +1,15 @@
 // Package workload generates the deterministic access patterns used by
 // the paper's evaluation: the dense-overlap non-contiguous pattern of
-// the scalability experiment, the MPI-tile-IO tile pattern, and the
-// ghost-cell halo pattern of the motivating applications. All
-// generators are pure functions of their spec, so every experiment is
-// reproducible.
+// the scalability experiment, the MPI-tile-IO tile pattern, the
+// ghost-cell halo pattern of the motivating applications, and the
+// skewed hot/cold read pattern of the read-tier experiment. All
+// generators are pure functions of their spec (pickers of their spec
+// and seed), so every experiment is reproducible.
 package workload
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/datatype"
 	"repro/internal/extent"
@@ -72,6 +74,64 @@ func (s OverlapSpec) BytesPerClient() int64 {
 // FileSpan is the total byte range the pattern touches.
 func (s OverlapSpec) FileSpan() int64 {
 	return int64(s.Regions-1)*s.stripeLen() + int64(s.Clients-1)*s.shift() + s.RegionSize
+}
+
+// HotColdSpec describes the skewed read pattern of the read-tier
+// experiment: a keyspace of Chunks chunk indices where the front
+// HotFraction of the keyspace (the hot set) receives HotProb of all
+// picks and the remaining cold tail shares the rest — the classic
+// 90/10 shape of visualization readers re-fetching the frame they are
+// rendering while occasionally paging history.
+type HotColdSpec struct {
+	// Chunks is the keyspace size: picks are chunk indices in
+	// [0, Chunks).
+	Chunks int
+	// HotFraction is the fraction of the keyspace that is hot
+	// (rounded up to at least one chunk).
+	HotFraction float64
+	// HotProb is the probability a pick lands in the hot set.
+	HotProb float64
+}
+
+// Validate checks the spec.
+func (s HotColdSpec) Validate() error {
+	if s.Chunks < 1 {
+		return fmt.Errorf("workload: hot/cold spec needs a positive keyspace, got %+v", s)
+	}
+	if s.HotFraction <= 0 || s.HotFraction > 1 {
+		return fmt.Errorf("workload: hot fraction %v out of (0,1]", s.HotFraction)
+	}
+	if s.HotProb < 0 || s.HotProb > 1 {
+		return fmt.Errorf("workload: hot probability %v out of [0,1]", s.HotProb)
+	}
+	return nil
+}
+
+// HotChunks is the hot-set size in chunks (at least one).
+func (s HotColdSpec) HotChunks() int {
+	hot := int(float64(s.Chunks) * s.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot > s.Chunks {
+		hot = s.Chunks
+	}
+	return hot
+}
+
+// Picker returns a deterministic chunk-index generator seeded per
+// reader: equal (spec, seed) pairs produce equal pick sequences, so a
+// measured hit rate replays exactly.
+func (s HotColdSpec) Picker(seed int64) func() int {
+	rng := rand.New(rand.NewSource(seed))
+	hot := s.HotChunks()
+	cold := s.Chunks - hot
+	return func() int {
+		if cold == 0 || rng.Float64() < s.HotProb {
+			return rng.Intn(hot)
+		}
+		return hot + rng.Intn(cold)
+	}
 }
 
 // TileSpec describes the MPI-tile-IO pattern: a TilesX × TilesY grid

@@ -199,3 +199,67 @@ func TestHaloZeroDisjoint(t *testing.T) {
 		}
 	}
 }
+
+func TestHotColdValidate(t *testing.T) {
+	good := HotColdSpec{Chunks: 100, HotFraction: 0.1, HotProb: 0.9}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []HotColdSpec{
+		{Chunks: 0, HotFraction: 0.1, HotProb: 0.9},
+		{Chunks: 10, HotFraction: 0, HotProb: 0.9},
+		{Chunks: 10, HotFraction: 1.1, HotProb: 0.9},
+		{Chunks: 10, HotFraction: 0.1, HotProb: -0.1},
+		{Chunks: 10, HotFraction: 0.1, HotProb: 1.1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Fatalf("case %d must fail", i)
+		}
+	}
+}
+
+func TestHotColdPickerDeterministicAndSkewed(t *testing.T) {
+	s := HotColdSpec{Chunks: 200, HotFraction: 0.1, HotProb: 0.9}
+	if got := s.HotChunks(); got != 20 {
+		t.Fatalf("hot set = %d, want 20", got)
+	}
+	a, b := s.Picker(7), s.Picker(7)
+	other := s.Picker(8)
+	hot, diff := 0, false
+	const picks = 10000
+	for i := 0; i < picks; i++ {
+		x := a()
+		if x != b() {
+			t.Fatalf("pick %d diverged between equal seeds", i)
+		}
+		if x < 0 || x >= s.Chunks {
+			t.Fatalf("pick %d out of keyspace: %d", i, x)
+		}
+		if x < s.HotChunks() {
+			hot++
+		}
+		if x != other() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical sequences")
+	}
+	// 90% of picks target the hot 10% of the keyspace (binomial noise
+	// over 10k picks stays well inside +-3%).
+	if frac := float64(hot) / picks; frac < 0.87 || frac > 0.93 {
+		t.Fatalf("hot fraction %.3f, want ~0.90", frac)
+	}
+}
+
+func TestHotColdAllHot(t *testing.T) {
+	// A fully hot keyspace must never index past the end.
+	s := HotColdSpec{Chunks: 3, HotFraction: 1, HotProb: 0.5}
+	pick := s.Picker(1)
+	for i := 0; i < 1000; i++ {
+		if x := pick(); x < 0 || x >= 3 {
+			t.Fatalf("pick out of range: %d", x)
+		}
+	}
+}
