@@ -14,15 +14,22 @@
 // whole failure domain dies at once, domain-spread placement vs the
 // flat control), and E13 the hot-path read tier (cross-domain read
 // fraction and cache hit rate of skewed re-reads under flat rotation,
-// zone-local replica selection, and the bounded read-through cache).
+// zone-local replica selection, and the bounded read-through cache),
+// and E14 the checkpoint blaster (N ranks checkpoint a strided N-1
+// file epoch after epoch while restore readers pin old epochs, the
+// reaper chews the retention backlog and a provider dies mid-run;
+// reported from the metrics registry as per-stage latency
+// histograms: ticket, commit, publish, pipe write, chunk put/get,
+// repair, reap).
 // Expect a full run to take a few minutes; -quick shrinks the matrix
-// for smoke runs.
+// for smoke runs; -only E14 (comma-separated names) selects a subset.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -31,13 +38,33 @@ import (
 	"repro/internal/workload"
 )
 
+// experiments maps the -only selector names onto their runners.
+var experiments = map[string]func(bool){
+	"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4, "E5": runE5,
+	"E6": runE6, "E7": runE7, "E8": runE8, "E9": runE9, "E10": runE10,
+	"E11": runE11, "E12": runE12, "E13": runE13, "E14": runE14,
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "smaller matrix for a fast smoke run")
 	headline := flag.Bool("headline", false, "run only E6 (headline ratio)")
+	only := flag.String("only", "", "comma-separated experiment names to run (e.g. E14 or E1,E6); empty = all")
 	flag.Parse()
 
 	start := time.Now()
-	if !*headline {
+	switch {
+	case *only != "":
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			run, ok := experiments[name]
+			if !ok {
+				die(fmt.Errorf("unknown experiment %q (know E1..E14)", name))
+			}
+			run(*quick)
+		}
+	case *headline:
+		runE6(*quick)
+	default:
 		runE1(*quick)
 		runE2(*quick)
 		runE3(*quick)
@@ -50,8 +77,9 @@ func main() {
 		runE11(*quick)
 		runE12(*quick)
 		runE13(*quick)
+		runE14(*quick)
+		runE6(*quick)
 	}
-	runE6(*quick)
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
 }
 
@@ -527,6 +555,44 @@ func runE13(quick bool) {
 				)
 			}
 		}
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E14: the checkpoint blaster — every rank checkpoints the strided
+// N-1 pattern epoch after epoch through write pipes while restore
+// readers pin and re-read old epochs, retention feeds the reaper, a
+// provider store dies mid-run for the self-heal loop to absorb, and
+// the metrics registry times every stage. The table is the registry's
+// own per-stage latency histograms; a second table reports the
+// run-level counters.
+func runE14(quick bool) {
+	ranks, epochs := 8, 6
+	if quick {
+		ranks, epochs = 4, 4
+	}
+	spec := workload.CheckpointSpec{Ranks: ranks, Segments: 8, SegmentSize: 32 << 10}
+	res, err := bench.RunCheckpointBlaster(env(), spec, bench.CheckpointOptions{
+		Replicas: 2, Epochs: epochs, KeepLast: 2, Readers: 2, Kill: true,
+	})
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("E14: checkpoint blaster (%d ranks x %d segments x 32 KiB, %d epochs, keep 2, kill mid-run)\n",
+		ranks, spec.Segments, epochs)
+	fmt.Printf("written %.1f MiB at %.1f MB/s; %d restores, %d chunks repaired, %d versions reclaimed\n",
+		float64(res.WrittenBytes)/(1<<20), res.WriteMBps, res.Restores, res.Repaired, res.Reclaimed)
+	tbl := bench.NewTable("E14: per-stage latency histograms (from the metrics registry)",
+		"stage", "count", "p50", "p95", "p99")
+	for _, s := range res.Stages {
+		tbl.AddRow(
+			s.Stage,
+			fmt.Sprintf("%d", s.Count),
+			fmt.Sprintf("%.3fms", float64(s.P50.Microseconds())/1000),
+			fmt.Sprintf("%.3fms", float64(s.P95.Microseconds())/1000),
+			fmt.Sprintf("%.3fms", float64(s.P99.Microseconds())/1000),
+		)
 	}
 	tbl.Render(os.Stdout)
 	fmt.Println()

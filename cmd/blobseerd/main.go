@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/iosim"
 	"repro/internal/metadata"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 	"repro/internal/remote"
 	"repro/internal/vmanager"
@@ -78,12 +79,19 @@ func main() {
 		ctrlModel = iosim.DefaultMetadata()
 	}
 
+	// One registry spans every role this process hosts; the Node RPC
+	// service exposes it (bsctl metrics) and the server codec counts
+	// inbound RPCs into it.
+	reg := metrics.NewRegistry()
+
 	var roles remote.Roles
+	roles.Metrics = reg
 	for _, role := range strings.Split(*rolesFlag, ",") {
 		switch strings.TrimSpace(role) {
 		case "vm":
 			roles.VM = vmanager.New(ctrlModel)
 			roles.VM.SetBatching(vmanager.BatchConfig{MaxBatch: *batch, MaxDelay: *batchDelay})
+			roles.VM.SetMetrics(reg)
 		case "meta":
 			roles.Meta = metadata.NewStore(*shards, metaModel)
 		case "data":
@@ -111,16 +119,19 @@ func main() {
 				}
 			}
 			roles.Data = provider.NewRouter(pool)
+			roles.Data.SetMetrics(reg)
 			roles.Data.SetReplicas(*replicas)
 			roles.Data.SetWriteQuorum(*quorum)
 			if *localDomain != "" {
 				roles.Data.SetLocalDomain(*localDomain)
 			}
 			if *readCache > 0 {
-				roles.Data.SetReadCache(provider.NewReadCache(provider.ReadCacheConfig{
+				cache := provider.NewReadCache(provider.ReadCacheConfig{
 					Shards:   *cacheShards,
 					MaxBytes: *readCache,
-				}))
+				})
+				cache.SetMetrics(reg)
+				roles.Data.SetReadCache(cache)
 			}
 			if *selfHeal {
 				order := core.OldestFirst
@@ -146,6 +157,7 @@ func main() {
 					Interval:           *scrubInterval,
 					Order:              order,
 				})
+				roles.Healer.SetMetrics(reg)
 				roles.Data.SetDegradedHandler(roles.Healer.EnqueueRepair)
 			}
 		case "":
@@ -170,6 +182,7 @@ func main() {
 		})
 		// Blobs are created by clients over RPC; the reaper discovers
 		// them from the version manager at each pass start.
+		roles.Reaper.SetMetrics(reg)
 		roles.Reaper.SetCatalog(blob.Services{VM: roles.VM, Meta: roles.Meta, Data: roles.Data}, roles.VM)
 		if c := roles.Data.ReadCache(); c != nil {
 			// The reaper's hint walk then repairs hint rot: stale

@@ -19,6 +19,7 @@
 //	bsctl gc [-sync]              # reaper stats; -sync forces a full pass
 //	bsctl usage                   # per-provider chunk count / bytes stored
 //	bsctl readtier                # zone-local read locality and read-cache counters
+//	bsctl metrics                 # full metrics registry, Prometheus text exposition
 package main
 
 import (
@@ -344,6 +345,13 @@ func main() {
 		fmt.Printf("hints: %d hits, %d misses, %d fills\n", cs.HintHits, cs.HintMisses, cs.HintFills)
 		fmt.Printf("churn: %d fills, %d evictions, %d invalidations\n", cs.Fills, cs.Evictions, cs.Invalidations)
 
+	case "metrics":
+		text, err := cli.Metrics()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+
 	case "down", "up":
 		if *providerID < 0 {
 			fail(fmt.Errorf("bsctl: %s requires -provider", cmd))
@@ -405,6 +413,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|readtier|repair|health|scrub|down|up|domain [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|readtier|metrics|repair|health|scrub|down|up|domain [flags]")
 	os.Exit(2)
 }

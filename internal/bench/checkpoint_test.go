@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// The blaster must survive a mid-run provider kill with zero failed
+// writes or reads, converge heal and GC, and hand back per-stage
+// histograms whose counts are self-consistent with the work done.
+func TestCheckpointBlaster(t *testing.T) {
+	spec := workload.CheckpointSpec{Ranks: 4, Segments: 4, SegmentSize: 8 << 10}
+	res, err := RunCheckpointBlaster(cluster.Default(), spec, CheckpointOptions{
+		Replicas: 2, Epochs: 5, KeepLast: 2, Readers: 2, Kill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WrittenBytes != spec.BytesPerRank()*int64(spec.Ranks)*5 {
+		t.Errorf("written = %d", res.WrittenBytes)
+	}
+	if res.Repaired == 0 {
+		t.Error("kill produced no repairs")
+	}
+	if res.Reclaimed == 0 {
+		t.Error("retention produced no reclaimed versions")
+	}
+	stages := map[string]StageLatency{}
+	for _, s := range res.Stages {
+		stages[s.Stage] = s
+	}
+	// One ticket/commit/publish per epoch per rank.
+	want := uint64(5 * spec.Ranks)
+	for _, name := range []string{"ticket", "commit", "publish", "pipe write"} {
+		if got := stages[name].Count; got != want {
+			t.Errorf("stage %q count = %d, want %d", name, got, want)
+		}
+	}
+	for _, name := range []string{"chunk put", "repair", "reap pass"} {
+		if stages[name].Count == 0 {
+			t.Errorf("stage %q count = 0", name)
+		}
+	}
+	// The flattened snapshot agrees with the stage readout.
+	if got := res.Metrics["bs_vm_publish_total"]; got != float64(want) {
+		t.Errorf("bs_vm_publish_total = %g, want %d", got, want)
+	}
+	if res.Metrics["bs_repair_seconds_count"] != float64(stages["repair"].Count) {
+		t.Errorf("repair histogram disagrees between snapshot and handle")
+	}
+}

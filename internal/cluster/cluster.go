@@ -16,6 +16,7 @@ import (
 	"repro/internal/iosim"
 	"repro/internal/lockfs"
 	"repro/internal/metadata"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 	"repro/internal/segtree"
 	"repro/internal/vmanager"
@@ -184,7 +185,12 @@ type Versioning struct {
 	Reaper    *core.Reaper
 	Cache     *provider.ReadCache // non-nil only with Env.ReadCache
 	Faults    []*chunk.FaultStore
-	env       Env
+	// Metrics is the deployment-wide registry every component reports
+	// into: vmanager ticket/commit/publish, chunk put/get, cache,
+	// repair and reap counters plus their latency histograms. Always
+	// non-nil.
+	Metrics *metrics.Registry
+	env     Env
 }
 
 // NewVersioning boots the service.
@@ -199,9 +205,12 @@ func NewVersioning(env Env) (*Versioning, error) {
 	} else {
 		mgr, _ = provider.NewPoolInDomains(env.Providers, env.Domains, env.DataModel)
 	}
+	reg := metrics.NewRegistry()
 	vm := vmanager.New(env.CtrlModel)
 	vm.SetBatching(env.VMBatch)
+	vm.SetMetrics(reg)
 	router := provider.NewRouter(mgr)
+	router.SetMetrics(reg)
 	router.SetReplicas(env.Replicas)
 	router.SetWriteQuorum(env.WriteQuorum)
 	if env.LocalDomain != "" {
@@ -213,6 +222,7 @@ func NewVersioning(env Env) (*Versioning, error) {
 			Shards:   env.CacheShards,
 			MaxBytes: env.CacheBytes,
 		})
+		cache.SetMetrics(reg)
 		router.SetReadCache(cache)
 	}
 	v := &Versioning{
@@ -222,6 +232,7 @@ func NewVersioning(env Env) (*Versioning, error) {
 		Router:    router,
 		Cache:     cache,
 		Faults:    faults,
+		Metrics:   reg,
 		env:       env,
 	}
 	if env.SelfHeal {
@@ -240,6 +251,7 @@ func NewVersioning(env Env) (*Versioning, error) {
 			QueueDepth:         env.RepairQueue,
 			Order:              order,
 		})
+		v.Healer.SetMetrics(reg)
 		router.SetDegradedHandler(v.Healer.EnqueueRepair)
 	}
 	if env.GC {
@@ -249,6 +261,7 @@ func NewVersioning(env Env) (*Versioning, error) {
 			WalkChunksPerTick: env.GCWalkRate,
 			QueueDepth:        env.GCQueue,
 		})
+		v.Reaper.SetMetrics(reg)
 		if cache != nil {
 			v.Reaper.SetReadCache(cache)
 		}
@@ -272,6 +285,7 @@ func (v *Versioning) Backend(blobID uint64, span int64) (*core.VersioningBackend
 	if err != nil {
 		return nil, err
 	}
+	be.SetMetrics(v.Metrics)
 	if v.Healer != nil {
 		v.Healer.RegisterBlob(be.Blob())
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/extent"
@@ -135,5 +136,70 @@ func TestInvalidEnvRejected(t *testing.T) {
 	}
 	if _, err := NewLustre(Env{}); err == nil {
 		t.Fatal("invalid env must fail")
+	}
+}
+
+// Every deployment carries one shared metrics registry wired through
+// all layers: a write must show up as ticket/commit/publish and chunk
+// puts, a repeated read as cache traffic, and the exposition must
+// render. This is the end-to-end check that NewVersioning actually
+// connects every component to the registry.
+func TestVersioningMetricsWired(t *testing.T) {
+	env := Default()
+	env.Providers = 4
+	env.Replicas = 2
+	env.ReadCache = true
+	svc, err := NewVersioning(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Metrics == nil {
+		t.Fatal("deployment has no metrics registry")
+	}
+	be, err := svc.Backend(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := be.NewPipe(2)
+	vec, _ := extent.NewVec(extent.List{{Offset: 0, Length: 10}}, make([]byte, 10))
+	if err := pipe.Submit(vec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := be.ReadList(extent.List{{Offset: 0, Length: 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := svc.Metrics.Snapshot()
+	for name, min := range map[string]float64{
+		"bs_vm_ticket_total":          1,
+		"bs_vm_commit_total":          1,
+		"bs_vm_publish_total":         1,
+		"bs_pipe_submit_total":        1,
+		"bs_chunk_put_total":          1,
+		"bs_chunk_put_bytes_total":    10,
+		"bs_cache_hits_total":         1, // reads 2 and 3 hit the cached chunk
+		"bs_vm_ticket_seconds_count":  1,
+		"bs_pipe_write_seconds_count": 1,
+	} {
+		if got := snap[name]; got < min {
+			t.Errorf("%s = %g, want >= %g", name, got, min)
+		}
+	}
+	if got := snap["bs_pipe_inflight"]; got != 0 {
+		t.Errorf("bs_pipe_inflight = %g after flush, want 0", got)
+	}
+	var buf strings.Builder
+	if err := svc.Metrics.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# TYPE bs_vm_ticket_total counter") {
+		t.Fatalf("exposition missing vm family:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `bs_chunk_get_total{locality="flat"}`) {
+		t.Fatalf("exposition missing locality-labeled get counter:\n%s", buf.String())
 	}
 }

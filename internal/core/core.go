@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/extent"
+	"repro/internal/metrics"
 	"repro/internal/segtree"
 )
 
@@ -87,6 +88,23 @@ type VersioningBackend struct {
 
 	writes, reads    atomic.Int64
 	bytesWr, bytesRd atomic.Int64
+
+	// met holds nil-tolerant WritePipe metric handles (see SetMetrics);
+	// nil until wired.
+	met struct {
+		pipeInflight *metrics.Gauge
+		pipeSubmit   *metrics.Counter
+		pipeWriteSec *metrics.Histogram
+	}
+}
+
+// SetMetrics wires the backend's WritePipe occupancy gauge, submit
+// counter and per-write data-path latency histogram into reg. Call
+// before creating pipes; a nil registry leaves metrics disabled.
+func (v *VersioningBackend) SetMetrics(reg *metrics.Registry) {
+	v.met.pipeInflight = reg.Gauge("bs_pipe_inflight")
+	v.met.pipeSubmit = reg.Counter("bs_pipe_submit_total")
+	v.met.pipeWriteSec = reg.Histogram("bs_pipe_write_seconds", nil)
 }
 
 var (

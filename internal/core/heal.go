@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 	"repro/internal/vmanager"
 )
@@ -173,16 +174,33 @@ type Healer struct {
 
 	queue *keyQueue // bounded dedup repair queue (shared machinery, queue.go)
 
-	mu       sync.Mutex
-	targets  []*blob.Blob
-	pass     []scrubUnit          // remaining units of the current pass
-	refs     []chunk.Key          // refs of the unit being scrubbed
-	passSeen map[chunk.Key]string // dedup within one pass (key -> "")
-	stats    HealerStats
+	mu        sync.Mutex
+	targets   []*blob.Blob
+	pass      []scrubUnit          // remaining units of the current pass
+	refs      []chunk.Key          // refs of the unit being scrubbed
+	passSeen  map[chunk.Key]string // dedup within one pass (key -> "")
+	passStart time.Time            // wall-clock start of the current pass (metrics only)
+	stats     HealerStats
+
+	// met holds nil-tolerant metric handles, nil until SetMetrics.
+	met struct {
+		queueDepth *metrics.Gauge
+		passSec    *metrics.Histogram
+	}
 
 	runMu sync.Mutex
 	stop  chan struct{}
 	done  chan struct{}
+}
+
+// SetMetrics wires the healer's repair-queue depth gauge (sampled per
+// tick) and scrub-pass duration histogram into reg. Call before the
+// loop runs; a nil registry leaves metrics disabled.
+func (h *Healer) SetMetrics(reg *metrics.Registry) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.met.queueDepth = reg.Gauge("bs_heal_queue_depth")
+	h.met.passSec = reg.Histogram("bs_heal_pass_seconds", nil)
 }
 
 // NewHealer builds a healer over the given router. health may be nil
@@ -231,6 +249,7 @@ func (h *Healer) Tick() {
 	}
 	h.drainRepairs()
 	h.scrubStep()
+	h.met.queueDepth.Set(int64(h.queue.len()))
 }
 
 // drainRepairs executes up to RepairsPerTick queued re-replications.
@@ -317,8 +336,7 @@ func (h *Healer) nextRef() (chunk.Key, bool) {
 		if len(h.pass) == 0 {
 			if h.passSeen != nil {
 				// A pass was in progress and is now complete.
-				h.stats.ScrubPasses++
-				h.passSeen = nil
+				h.completePassLocked()
 				return chunk.Key{}, false
 			}
 			h.startPassLocked()
@@ -326,8 +344,7 @@ func (h *Healer) nextRef() (chunk.Key, bool) {
 				// Nothing to scrub: an empty walk still counts as a
 				// completed pass, so Pass() terminates promptly on an
 				// empty deployment.
-				h.stats.ScrubPasses++
-				h.passSeen = nil
+				h.completePassLocked()
 				return chunk.Key{}, false
 			}
 			continue
@@ -338,8 +355,22 @@ func (h *Healer) nextRef() (chunk.Key, bool) {
 	}
 }
 
+// completePassLocked counts one finished scrub pass and observes its
+// wall-clock duration.
+func (h *Healer) completePassLocked() {
+	h.stats.ScrubPasses++
+	h.passSeen = nil
+	if h.met.passSec != nil && !h.passStart.IsZero() {
+		h.met.passSec.ObserveSince(h.passStart)
+		h.passStart = time.Time{}
+	}
+}
+
 // startPassLocked snapshots the work list for a new scrub pass.
 func (h *Healer) startPassLocked() {
+	if h.met.passSec != nil {
+		h.passStart = time.Now()
+	}
 	h.passSeen = make(map[chunk.Key]string)
 	h.pass = h.pass[:0]
 	if len(h.targets) == 0 {

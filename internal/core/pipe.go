@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/extent"
@@ -62,8 +63,13 @@ func (p *WritePipe) Submit(vec extent.Vec) error {
 	p.mu.Lock()
 	p.inflight++
 	p.mu.Unlock()
+	p.be.met.pipeSubmit.Inc()
+	p.be.met.pipeInflight.Add(1)
+	start := time.Now()
 	go func() {
 		ver, err := p.be.b.WriteList(vec, writeNoWait(p.be.opts))
+		p.be.met.pipeInflight.Add(-1)
+		p.be.met.pipeWriteSec.ObserveSince(start)
 		<-p.tokens
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -88,6 +94,13 @@ func (p *WritePipe) Submit(vec extent.Vec) error {
 // waits once for publication of the newest version the pipe produced.
 // It returns that version and the first error any write hit. The pipe
 // is reusable after Flush.
+//
+// The publication wait happens even when a write failed: the surviving
+// writes of the train committed real versions, and returning while
+// their publication state is unknown would let the caller read around
+// data it just wrote. Flush therefore always waits on the surviving
+// maxVer and then reports the first write error (which takes precedence
+// over a wait error).
 func (p *WritePipe) Flush() (Version, error) {
 	p.mu.Lock()
 	for p.inflight > 0 {
@@ -96,16 +109,13 @@ func (p *WritePipe) Flush() (Version, error) {
 	ver, err := p.maxVer, p.firstEr
 	p.maxVer, p.firstEr = 0, nil
 	p.mu.Unlock()
-	if err != nil {
-		return ver, err
-	}
 	if ver == 0 {
-		return 0, nil
+		return 0, err
 	}
-	if err := p.be.b.WaitPublished(uint64(ver)); err != nil {
-		return ver, err
+	if werr := p.be.b.WaitPublished(uint64(ver)); err == nil {
+		err = werr
 	}
-	return ver, nil
+	return ver, err
 }
 
 // writeNoWait copies the backend's write options with publication

@@ -151,3 +151,71 @@ func TestWritePipeSurfacesErrors(t *testing.T) {
 		t.Fatalf("Flush after recovery: %v", err)
 	}
 }
+
+// Regression: Flush on error used to return immediately without waiting
+// for publication of the train's surviving writes, so a successfully
+// committed peer write was in an unknown publication state while the
+// caller handled the error. The fault injected here is an older ticket
+// held by a concurrent writer (publication is in ticket order, so the
+// pipe's committed write cannot publish until that ticket resolves):
+// Flush must block until the surviving maxVer is published even though
+// another write in the train failed.
+func TestWritePipeFlushWaitsOnErrorPath(t *testing.T) {
+	vm := vmanager.New(iosim.CostModel{})
+	mgr, _ := provider.NewPool(4, iosim.CostModel{})
+	svc := blob.Services{VM: vm, Meta: metadata.NewStore(4, iosim.CostModel{}), Data: provider.NewRouter(mgr)}
+	be, err := NewVersioning(svc, 1, segtree.Geometry{Capacity: 1 << 20, Page: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A concurrent writer holds the oldest ticket: nothing newer can
+	// publish until it completes or aborts.
+	held, err := vm.AssignTicket(1, extent.List{{Offset: 0, Length: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipe := be.NewPipe(2)
+	// Surviving write: commits a version newer than the held ticket.
+	ok, _ := extent.NewVec(extent.List{{Offset: 0, Length: 4}}, []byte{1, 2, 3, 4})
+	if err := pipe.Submit(ok); err != nil {
+		t.Fatal(err)
+	}
+	// Failing write: beyond capacity, ticket assignment rejects it.
+	huge, _ := extent.NewVec(extent.List{{Offset: 1 << 30, Length: 4}}, []byte{1, 2, 3, 4})
+	if err := pipe.Submit(huge); err != nil {
+		t.Fatalf("Submit itself should not fail: %v", err)
+	}
+
+	// Resolve the held ticket only after a clear delay. A Flush that
+	// skips the publication wait returns long before this fires.
+	released := make(chan struct{})
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		close(released)
+		if err := vm.Abort(1, held.Version); err != nil {
+			t.Errorf("abort held ticket: %v", err)
+		}
+	}()
+
+	ver, err := pipe.Flush()
+	if err == nil {
+		t.Fatal("Flush swallowed the write error")
+	}
+	select {
+	case <-released:
+	default:
+		t.Fatal("Flush returned before the blocking ticket resolved: it did not wait for publication of the surviving write")
+	}
+	if ver == 0 {
+		t.Fatal("Flush lost the surviving version")
+	}
+	info, err := vm.LatestPublished(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version < uint64(ver) {
+		t.Fatalf("surviving write v%d not published at Flush return (latest %d)", ver, info.Version)
+	}
+}

@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 	"repro/internal/vmanager"
 )
@@ -155,17 +156,38 @@ type Reaper struct {
 	cfg    ReaperConfig
 	queue  *keyQueue // bounded dedup delete queue (shared machinery)
 
-	mu      sync.Mutex
-	targets []*blob.Blob
-	known   map[uint64]bool
-	catalog func() []*blob.Blob
-	pass    *reapPass
-	stats   ReaperStats
-	cache   *provider.ReadCache // stale-hint rewrite target (optional)
+	mu        sync.Mutex
+	targets   []*blob.Blob
+	known     map[uint64]bool
+	catalog   func() []*blob.Blob
+	pass      *reapPass
+	passStart time.Time // wall-clock start of the current pass (metrics only)
+	stats     ReaperStats
+	cache     *provider.ReadCache // stale-hint rewrite target (optional)
+
+	// met holds nil-tolerant metric handles, nil until SetMetrics.
+	met struct {
+		queueDepth   *metrics.Gauge
+		passSec      *metrics.Histogram
+		deleted      *metrics.Counter
+		deletedBytes *metrics.Counter
+	}
 
 	runMu sync.Mutex
 	stop  chan struct{}
 	done  chan struct{}
+}
+
+// SetMetrics wires the reaper's delete-queue depth gauge (sampled per
+// tick), pass duration histogram and reclamation counters into reg.
+// Call before the loop runs; a nil registry leaves metrics disabled.
+func (r *Reaper) SetMetrics(reg *metrics.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met.queueDepth = reg.Gauge("bs_reap_queue_depth")
+	r.met.passSec = reg.Histogram("bs_reap_pass_seconds", nil)
+	r.met.deleted = reg.Counter("bs_reap_deleted_total")
+	r.met.deletedBytes = reg.Counter("bs_reap_deleted_bytes_total")
 }
 
 // NewReaper builds a reaper over the given router.
@@ -240,10 +262,14 @@ func (r *Reaper) Tick() {
 	r.drainDeletes()
 	r.walkStep()
 	r.maybeFinishPass()
+	r.met.queueDepth.Set(int64(r.queue.len()))
 }
 
 // startPassLocked applies retention and snapshots the pass work list.
 func (r *Reaper) startPassLocked() {
+	if r.met.passSec != nil {
+		r.passStart = time.Now()
+	}
 	if r.catalog != nil {
 		for _, b := range r.catalog() {
 			if !r.known[b.ID()] {
@@ -456,6 +482,8 @@ func (r *Reaper) drainDeletes() {
 		case err == nil:
 			r.stats.Deleted++
 			r.stats.DeletedBytes += bytes
+			r.met.deleted.Inc()
+			r.met.deletedBytes.Add(bytes)
 		case errors.Is(err, provider.ErrChunkBusy):
 			r.stats.DeferredBusy++
 		default:
@@ -504,6 +532,10 @@ func (r *Reaper) maybeFinishPass() {
 	}
 	r.pass = nil
 	r.stats.Passes++
+	if r.met.passSec != nil && !r.passStart.IsZero() {
+		r.met.passSec.ObserveSince(r.passStart)
+		r.passStart = time.Time{}
+	}
 	r.mu.Unlock()
 
 	for _, c := range claims {

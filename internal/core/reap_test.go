@@ -36,7 +36,7 @@ func gcCluster(t *testing.T, n, retainLast int) (*cluster.Versioning, *core.Vers
 	page := env.ChunkSize
 	for i := 0; i < n; i++ {
 		l := extent.List{
-			{Offset: 0, Length: page},                    // contested: every version rewrites page 0
+			{Offset: 0, Length: page},                     // contested: every version rewrites page 0
 			{Offset: int64(i+1) * page, Length: page / 2}, // private page per version
 		}
 		buf := make([]byte, l.TotalLength())

@@ -1,0 +1,459 @@
+// Package metrics is a dependency-free, race-safe metrics registry:
+// counters, gauges and fixed-bucket latency histograms with
+// Prometheus-text exposition. It exists so every stage of the write and
+// read paths (ticket, commit, publish, chunk put/get, cache, repair,
+// reap) can be timed and counted without pulling an external client
+// library into the build.
+//
+// Handles returned by Counter/Gauge/Histogram are nil-tolerant: methods
+// on a nil handle are no-ops, so components instrument unconditionally
+// and callers that never call SetMetrics pay a single nil check per
+// operation.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing int64. The zero value is ready
+// to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Negative n is ignored: counters are monotone.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. Zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 that can go up and down. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value. Zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (latencies are observed in seconds). Observations and snapshots are
+// serialized by a per-histogram mutex, so a snapshot is always
+// internally consistent: Count == sum of bucket counts and Sum reflects
+// exactly the observations counted. A nil *Histogram is a no-op.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bounds, strictly increasing; implicit +Inf last
+	counts []uint64  // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveSince records the wall-clock seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// HistogramSnapshot is a consistent point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; the final overflow bucket is +Inf
+	Counts []uint64  // per-bucket (not cumulative); len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot returns a consistent copy. The zero snapshot on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the containing bucket. Returns 0 for an empty
+// histogram. Values in the overflow bucket report the highest finite
+// bound (the histogram cannot resolve beyond it).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			if i >= len(s.Bounds) { // overflow bucket: no finite upper bound
+				return lo
+			}
+			hi := s.Bounds[i]
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
+}
+
+// ExponentialBuckets returns n upper bounds start, start*factor,
+// start*factor^2, ... for use as histogram bounds.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		return nil
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LatencyBuckets is the default bound set for wall-clock latency
+// histograms, in seconds: 1µs up to ~4.2s in powers of four.
+func LatencyBuckets() []float64 { return ExponentialBuckets(1e-6, 4, 12) }
+
+// series is one (name, labels) time series.
+type series struct {
+	labels string // canonical rendered form, e.g. `a="x",b="y"`; "" if none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	kind   kind
+	series map[string]*series // keyed by canonical label string
+	order  []string           // insertion order of label keys for stable-ish output
+}
+
+// Registry holds named metric families. All methods are safe for
+// concurrent use. A nil *Registry hands out nil handles, so an
+// un-wired component degrades to no-ops throughout.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+func (r *Registry) getSeries(name string, k kind, bounds []float64, labels []Label) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: k, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, k))
+	}
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			if bounds == nil {
+				bounds = LatencyBuckets()
+			}
+			s.h = &Histogram{
+				bounds: append([]float64(nil), bounds...),
+				counts: make([]uint64, len(bounds)+1),
+			}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the counter series name{labels}.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getSeries(name, kindCounter, nil, labels).c
+}
+
+// Gauge returns (creating if needed) the gauge series name{labels}.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getSeries(name, kindGauge, nil, labels).g
+}
+
+// Histogram returns (creating if needed) the histogram series
+// name{labels}. bounds is used only when the series is first created;
+// pass nil to use LatencyBuckets.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.getSeries(name, kindHistogram, bounds, labels).h
+}
+
+// flatFamily is a lock-free view of one family: stable series pointers
+// collected under the registry lock, values read afterwards.
+type flatFamily struct {
+	name   string
+	kind   kind
+	series []*series
+}
+
+func (r *Registry) flatten() []flatFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]flatFamily, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		ff := flatFamily{name: f.name, kind: f.kind}
+		for _, key := range f.order {
+			ff.series = append(ff.series, f.series[key])
+		}
+		out = append(out, ff)
+	}
+	return out
+}
+
+// Snapshot flattens every series into a map for tests and assertions.
+// Counters and gauges appear under `name` or `name{labels}`; histograms
+// are expanded Prometheus-style into `name_count`, `name_sum` and
+// cumulative `name_bucket{le="..."}` entries (including le="+Inf").
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	for _, f := range r.flatten() {
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				out[seriesName(f.name, s.labels)] = float64(s.c.Value())
+			case kindGauge:
+				out[seriesName(f.name, s.labels)] = float64(s.g.Value())
+			case kindHistogram:
+				hs := s.h.Snapshot()
+				out[seriesName(f.name+"_count", s.labels)] = float64(hs.Count)
+				out[seriesName(f.name+"_sum", s.labels)] = hs.Sum
+				var cum uint64
+				for i, c := range hs.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(hs.Bounds) {
+						le = formatFloat(hs.Bounds[i])
+					}
+					out[seriesName(f.name+"_bucket", joinLabels(s.labels, `le=`+fmt.Sprintf("%q", le)))] = float64(cum)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format, families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.flatten() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), s.c.Value()); err != nil {
+					return err
+				}
+			case kindGauge:
+				if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels), s.g.Value()); err != nil {
+					return err
+				}
+			case kindHistogram:
+				hs := s.h.Snapshot()
+				var cum uint64
+				for i, c := range hs.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(hs.Bounds) {
+						le = formatFloat(hs.Bounds[i])
+					}
+					ser := seriesName(f.name+"_bucket", joinLabels(s.labels, `le=`+fmt.Sprintf("%q", le)))
+					if _, err := fmt.Fprintf(w, "%s %d\n", ser, cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s %g\n", seriesName(f.name+"_sum", s.labels), hs.Sum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", s.labels), hs.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatalf("nil handles must read as zero")
+	}
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil registry snapshot must be empty, got %v", snap)
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads_total", Label{"kind", "hot"})
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if again := r.Counter("reads_total", Label{"kind", "hot"}); again != c {
+		t.Fatalf("same name+labels must return the same handle")
+	}
+	if other := r.Counter("reads_total", Label{"kind", "cold"}); other == c {
+		t.Fatalf("different labels must return a different series")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", Label{"a", "1"}, Label{"b", "2"})
+	b := r.Counter("c", Label{"b", "2"}, Label{"a", "1"})
+	if a != b {
+		t.Fatalf("label order must not distinguish series")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+	want := []uint64{1, 2, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, c, want[i], s.Counts)
+		}
+	}
+	if got := s.Quantile(0.5); got <= 1 || got > 2 {
+		t.Fatalf("p50 = %g, want in (1,2]", got)
+	}
+	// Overflow-bucket quantile reports the highest finite bound.
+	if got := s.Quantile(1.0); got != 4 {
+		t.Fatalf("p100 = %g, want 4", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1e-6, 4, 3)
+	want := []float64{1e-6, 4e-6, 16e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	if ExponentialBuckets(0, 4, 3) != nil || ExponentialBuckets(1, 1, 3) != nil || ExponentialBuckets(1, 2, 0) != nil {
+		t.Fatalf("degenerate bucket specs must return nil")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bs_cache_hits_total").Add(7)
+	r.Gauge("bs_heal_queue_depth").Set(3)
+	h := r.Histogram("bs_vm_ticket_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE bs_cache_hits_total counter\nbs_cache_hits_total 7\n",
+		"# TYPE bs_heal_queue_depth gauge\nbs_heal_queue_depth 3\n",
+		"# TYPE bs_vm_ticket_seconds histogram\n",
+		`bs_vm_ticket_seconds_bucket{le="0.001"} 1`,
+		`bs_vm_ticket_seconds_bucket{le="0.01"} 1`,
+		`bs_vm_ticket_seconds_bucket{le="+Inf"} 2`,
+		"bs_vm_ticket_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// Families must be sorted by name.
+	if strings.Index(text, "bs_cache_hits_total") > strings.Index(text, "bs_heal_queue_depth") {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+}
+
+func TestSnapshotFlattening(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gets_total", Label{"locality", "local"}).Add(4)
+	h := r.Histogram("lat", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	snap := r.Snapshot()
+	if got := snap[`gets_total{locality="local"}`]; got != 4 {
+		t.Fatalf("flattened counter = %g, want 4", got)
+	}
+	if got := snap["lat_count"]; got != 2 {
+		t.Fatalf("lat_count = %g, want 2", got)
+	}
+	if got := snap[`lat_bucket{le="1"}`]; got != 1 {
+		t.Fatalf(`lat_bucket{le="1"} = %g, want 1`, got)
+	}
+	if got := snap[`lat_bucket{le="+Inf"}`]; got != 2 {
+		t.Fatalf(`lat_bucket{le="+Inf"} = %g, want 2`, got)
+	}
+}
+
+// TestConcurrentSnapshotConsistency is the registry torture test: many
+// writers hammer a simulated cache (each lookup increments exactly one
+// of hits/misses and observes a latency histogram) while a reader takes
+// mid-churn snapshots. Every snapshot must be internally consistent —
+// histogram count equals the sum of its buckets, cumulative buckets are
+// monotone in le, counters never decrease between snapshots — and at
+// quiescence hits+misses must equal the exact number of lookups issued.
+// Run under -race this also proves the registry itself is race-free.
+func TestConcurrentSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const opsPerWorker = 5000
+
+	hits := r.Counter("cache_hits_total")
+	misses := r.Counter("cache_misses_total")
+	depth := r.Gauge("queue_depth")
+	lat := r.Histogram("lookup_seconds", []float64{1e-6, 1e-5, 1e-4, 1e-3})
+
+	var issued atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				if (i+w)%3 == 0 {
+					misses.Inc()
+				} else {
+					hits.Inc()
+				}
+				lat.Observe(float64(i%7) * 1e-6)
+				depth.Add(1)
+				depth.Add(-1)
+				issued.Add(1)
+			}
+		}(w)
+	}
+
+	// Snapshot reader: runs concurrently with the writers.
+	var prev map[string]float64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			checkConsistent(t, snap, prev)
+			prev = snap
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-done
+	if t.Failed() {
+		return
+	}
+
+	// Quiescent totals: hits+misses == lookups issued, histogram saw
+	// every lookup, gauge drained to zero.
+	final := r.Snapshot()
+	total := final["cache_hits_total"] + final["cache_misses_total"]
+	if want := float64(issued.Load()); total != want {
+		t.Fatalf("hits+misses = %g, want %g lookups", total, want)
+	}
+	if got := final["lookup_seconds_count"]; got != float64(issued.Load()) {
+		t.Fatalf("histogram count = %g, want %d", got, issued.Load())
+	}
+	if got := final["queue_depth"]; got != 0 {
+		t.Fatalf("drained gauge = %g, want 0", got)
+	}
+}
+
+// checkConsistent asserts the internal invariants of one snapshot and
+// monotonicity of counters/histogram counts against the previous one.
+func checkConsistent(t *testing.T, snap, prev map[string]float64) {
+	t.Helper()
+	// Histogram: the +Inf cumulative bucket must equal _count (count ==
+	// sum of buckets), and cumulative buckets must be monotone.
+	if c, ok := snap["lookup_seconds_count"]; ok {
+		inf := snap[`lookup_seconds_bucket{le="+Inf"}`]
+		if inf != c {
+			t.Errorf("bucket sum %g != count %g", inf, c)
+		}
+		var last float64
+		for _, le := range []string{`1e-06`, `1e-05`, `0.0001`, `0.001`, `+Inf`} {
+			v := snap[`lookup_seconds_bucket{le="`+le+`"}`]
+			if v < last {
+				t.Errorf("cumulative bucket le=%s decreased: %g < %g", le, v, last)
+			}
+			last = v
+		}
+	}
+	if prev == nil {
+		return
+	}
+	for _, name := range []string{"cache_hits_total", "cache_misses_total", "lookup_seconds_count"} {
+		if snap[name] < prev[name] {
+			t.Errorf("%s went backwards: %g -> %g", name, prev[name], snap[name])
+		}
+	}
+}

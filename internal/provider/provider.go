@@ -80,9 +80,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/chunk"
 	"repro/internal/iosim"
+	"repro/internal/metrics"
 )
 
 // ID identifies one data provider.
@@ -763,8 +765,8 @@ type Router struct {
 	// from; preferLocal orders same-domain replicas first (see
 	// SetReadLocality for the measure-only mode). The loc* atomics
 	// count reads served locally vs remotely while a domain is set.
-	localDomain string
-	preferLocal bool
+	localDomain                   string
+	preferLocal                   bool
 	locLocalReads, locRemoteReads atomic.Int64
 	locLocalBytes, locRemoteBytes atomic.Int64
 
@@ -786,6 +788,38 @@ type Router struct {
 	// same chunk.
 	busyMu sync.Mutex
 	busy   map[chunk.Key]bool
+
+	// met holds nil-tolerant metric handles, nil until SetMetrics.
+	met struct {
+		putTotal  *metrics.Counter
+		putBytes  *metrics.Counter
+		putSec    *metrics.Histogram
+		getLocal  *metrics.Counter
+		getRemote *metrics.Counter
+		getFlat   *metrics.Counter
+		getSec    *metrics.Histogram
+		repairSec *metrics.Histogram
+		repairOut [4]*metrics.Counter // indexed by RepairOutcome
+	}
+}
+
+// SetMetrics wires the router's chunk put/get counters and latency
+// histograms (gets split by locality: the reader's own domain, a remote
+// domain, or "flat" when no reader domain is set) plus the per-repair
+// outcome counters into reg. Call before serving traffic; a nil
+// registry leaves metrics disabled.
+func (r *Router) SetMetrics(reg *metrics.Registry) {
+	r.met.putTotal = reg.Counter("bs_chunk_put_total")
+	r.met.putBytes = reg.Counter("bs_chunk_put_bytes_total")
+	r.met.putSec = reg.Histogram("bs_chunk_put_seconds", nil)
+	r.met.getLocal = reg.Counter("bs_chunk_get_total", metrics.Label{Key: "locality", Value: "local"})
+	r.met.getRemote = reg.Counter("bs_chunk_get_total", metrics.Label{Key: "locality", Value: "remote"})
+	r.met.getFlat = reg.Counter("bs_chunk_get_total", metrics.Label{Key: "locality", Value: "flat"})
+	r.met.getSec = reg.Histogram("bs_chunk_get_seconds", nil)
+	r.met.repairSec = reg.Histogram("bs_repair_seconds", nil)
+	for o := RepairHealthy; o <= RepairLost; o++ {
+		r.met.repairOut[o] = reg.Counter("bs_repair_total", metrics.Label{Key: "outcome", Value: o.String()})
+	}
 }
 
 // NewRouter wraps a manager with a placement map. The zero
@@ -998,6 +1032,22 @@ func (r *Router) WriteQuorum() int {
 // write's ticket is retired by the caller, so no metadata ever
 // references them.
 func (r *Router) Put(key chunk.Key, data []byte) ([]ID, error) {
+	var start time.Time
+	if r.met.putSec != nil {
+		start = time.Now()
+	}
+	stored, err := r.put(key, data)
+	if err == nil {
+		r.met.putTotal.Inc()
+		r.met.putBytes.Add(int64(len(data)))
+		if r.met.putSec != nil {
+			r.met.putSec.ObserveSince(start)
+		}
+	}
+	return stored, err
+}
+
+func (r *Router) put(key chunk.Key, data []byte) ([]ID, error) {
 	want := r.Replicas()
 	quorum := r.WriteQuorum()
 	targets, err := r.AllocateN(want)
@@ -1196,6 +1246,10 @@ func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) (data []
 	if len(ids) == 0 {
 		return nil, 0, 0, fmt.Errorf("%w: %s (empty replica set)", chunk.ErrNotFound, key)
 	}
+	var start time.Time
+	if r.met.getSec != nil {
+		start = time.Now()
+	}
 	local, prefer := r.readLocality()
 	var lastErr error
 	for _, id := range r.replicaOrder(ids, local, prefer) {
@@ -1213,6 +1267,17 @@ func (r *Router) getFromSet(ids []ID, key chunk.Key, off, length int64) (data []
 		data, err := p.Store().Get(key, off, length)
 		r.reportError(id, err)
 		if err == nil {
+			switch {
+			case local == "":
+				r.met.getFlat.Inc()
+			case p.Domain() == local:
+				r.met.getLocal.Inc()
+			default:
+				r.met.getRemote.Inc()
+			}
+			if r.met.getSec != nil {
+				r.met.getSec.ObserveSince(start)
+			}
 			if local != "" {
 				if p.Domain() == local {
 					r.locLocalReads.Add(1)
@@ -1476,6 +1541,21 @@ func (o RepairOutcome) String() string {
 // (the chunk is going away; repairing it would resurrect garbage) or
 // a concurrent repair (which will restore it itself).
 func (r *Router) RepairChunk(key chunk.Key) (outcome RepairOutcome, copied int, err error) {
+	var start time.Time
+	if r.met.repairSec != nil {
+		start = time.Now()
+	}
+	outcome, copied, err = r.repairChunk(key)
+	if outcome >= RepairHealthy && outcome <= RepairLost {
+		r.met.repairOut[outcome].Inc()
+	}
+	if r.met.repairSec != nil {
+		r.met.repairSec.ObserveSince(start)
+	}
+	return outcome, copied, err
+}
+
+func (r *Router) repairChunk(key chunk.Key) (outcome RepairOutcome, copied int, err error) {
 	if !r.claimKey(key) {
 		return RepairHealthy, 0, nil
 	}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/chunk"
+	"repro/internal/metrics"
 )
 
 // ReadCacheConfig sizes a ReadCache. Zero fields select defaults.
@@ -65,16 +66,16 @@ func (c ReadCacheConfig) withDefaults() ReadCacheConfig {
 // ReadCacheStats are cumulative cache counters plus the current
 // footprint.
 type ReadCacheStats struct {
-	Hits       int64 // data lookups served from the cache
-	Misses     int64 // data lookups that went to a provider
-	HintHits   int64 // hint lookups that found a cached replica set
-	HintMisses int64
-	Fills      int64 // data entries installed or grown
-	HintFills  int64 // hint entries installed or replaced
-	Evictions  int64 // entries trimmed under capacity pressure
+	Hits          int64 // data lookups served from the cache
+	Misses        int64 // data lookups that went to a provider
+	HintHits      int64 // hint lookups that found a cached replica set
+	HintMisses    int64
+	Fills         int64 // data entries installed or grown
+	HintFills     int64 // hint entries installed or replaced
+	Evictions     int64 // entries trimmed under capacity pressure
 	Invalidations int64 // entries dropped by placement changes
-	Entries    int   // current entry count
-	Bytes      int64 // current footprint
+	Entries       int   // current entry count
+	Bytes         int64 // current footprint
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 with no lookups.
@@ -121,6 +122,29 @@ type ReadCache struct {
 	fills, hintFills     atomic.Int64
 	evictions            atomic.Int64
 	invalidations        atomic.Int64
+
+	// met mirrors the counters above into a metrics registry; handles
+	// are nil until SetMetrics, so every mirror call no-ops when the
+	// cache is un-wired.
+	met struct {
+		hits          *metrics.Counter
+		misses        *metrics.Counter
+		fills         *metrics.Counter
+		evictions     *metrics.Counter
+		invalidations *metrics.Counter
+	}
+}
+
+// SetMetrics mirrors the cache's data-path counters (hits, misses,
+// fills, evictions, invalidations; hint traffic is visible via Stats)
+// into reg. Call before serving traffic; a nil registry leaves metrics
+// disabled.
+func (c *ReadCache) SetMetrics(reg *metrics.Registry) {
+	c.met.hits = reg.Counter("bs_cache_hits_total")
+	c.met.misses = reg.Counter("bs_cache_misses_total")
+	c.met.fills = reg.Counter("bs_cache_fills_total")
+	c.met.evictions = reg.Counter("bs_cache_evictions_total")
+	c.met.invalidations = reg.Counter("bs_cache_invalidations_total")
 }
 
 // NewReadCache builds a cache with the given (defaulted) configuration.
@@ -170,12 +194,14 @@ func (c *ReadCache) GetData(key chunk.Key, off, length int64) ([]byte, bool) {
 	if e == nil || e.data == nil || off < 0 || length < 0 || off+length > int64(len(e.data)) {
 		s.mu.Unlock()
 		c.misses.Add(1)
+		c.met.misses.Inc()
 		return nil, false
 	}
 	out := make([]byte, length)
 	copy(out, e.data[off:off+length])
 	s.mu.Unlock()
 	c.hits.Add(1)
+	c.met.hits.Inc()
 	return out, true
 }
 
@@ -212,6 +238,7 @@ func (c *ReadCache) FillData(key chunk.Key, data []byte) {
 		return true
 	}) {
 		c.fills.Add(1)
+		c.met.fills.Inc()
 	}
 }
 
@@ -254,6 +281,7 @@ func (c *ReadCache) fill(key chunk.Key, update func(*cacheEntry) bool) bool {
 		s.bytes -= before
 		delete(s.entries, key)
 		c.evictions.Add(1)
+		c.met.evictions.Inc()
 		return false
 	}
 	if fresh {
@@ -284,6 +312,7 @@ func (c *ReadCache) fill(key chunk.Key, update func(*cacheEntry) bool) bool {
 		s.bytes -= ve.cost()
 		delete(s.entries, victim)
 		c.evictions.Add(1)
+		c.met.evictions.Inc()
 	}
 	return true
 }
@@ -298,6 +327,7 @@ func (c *ReadCache) Invalidate(key chunk.Key) {
 		s.bytes -= e.cost()
 		delete(s.entries, key)
 		c.invalidations.Add(1)
+		c.met.invalidations.Inc()
 	}
 	s.mu.Unlock()
 }

@@ -7,16 +7,21 @@
 package remote
 
 import (
+	"bufio"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
+	"strings"
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/extent"
 	"repro/internal/metadata"
+	"repro/internal/metrics"
 	"repro/internal/provider"
 	"repro/internal/segtree"
 	"repro/internal/vmanager"
@@ -27,6 +32,7 @@ const (
 	vmService   = "VM"
 	metaService = "Meta"
 	dataService = "Data"
+	nodeService = "Node"
 )
 
 // --- Version manager service ---
@@ -450,6 +456,28 @@ func (s *DataServer) GC(a *GCArgs, reply *core.ReaperStats) error {
 	return nil
 }
 
+// --- Node introspection service ---
+
+// NodeServer exposes process-level introspection: the node's metrics
+// registry in Prometheus text exposition (bsctl metrics).
+type NodeServer struct {
+	Reg *metrics.Registry
+}
+
+// MetricsArgs selects the metrics exposition.
+type MetricsArgs struct{}
+
+// Metrics RPC: the node's full metrics registry rendered in Prometheus
+// text exposition format.
+func (s *NodeServer) Metrics(_ *MetricsArgs, reply *string) error {
+	var buf strings.Builder
+	if err := s.Reg.WritePrometheus(&buf); err != nil {
+		return err
+	}
+	*reply = buf.String()
+	return nil
+}
+
 // --- Node (server process) ---
 
 // Roles selects which services a node hosts. Health and Healer ride
@@ -463,12 +491,18 @@ type Roles struct {
 	Health *provider.HealthMonitor
 	Healer *core.Healer
 	Reaper *core.Reaper
+
+	// Metrics, when non-nil, registers the Node introspection service
+	// (Prometheus exposition via bsctl metrics) and counts every inbound
+	// RPC into bs_rpc_requests_total{method="..."}.
+	Metrics *metrics.Registry
 }
 
 // Node is one running storage-service process.
 type Node struct {
 	lis net.Listener
 	srv *rpc.Server
+	reg *metrics.Registry // nil when the node has no metrics role
 }
 
 // Listen starts serving the given roles on addr (e.g. "127.0.0.1:0").
@@ -492,11 +526,16 @@ func Listen(addr string, roles Roles) (*Node, error) {
 			return nil, err
 		}
 	}
+	if roles.Metrics != nil {
+		if err := srv.RegisterName(nodeService, &NodeServer{Reg: roles.Metrics}); err != nil {
+			return nil, err
+		}
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
 	}
-	n := &Node{lis: lis, srv: srv}
+	n := &Node{lis: lis, srv: srv, reg: roles.Metrics}
 	go n.acceptLoop()
 	return n, nil
 }
@@ -507,8 +546,74 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go n.srv.ServeConn(conn)
+		if n.reg != nil {
+			go n.srv.ServeCodec(newCountingServerCodec(conn, n.reg))
+		} else {
+			go n.srv.ServeConn(conn)
+		}
 	}
+}
+
+// countingServerCodec is the stdlib gob server codec with one addition:
+// every decoded request header counts into
+// bs_rpc_requests_total{method="Service.Method"}, giving the per-node
+// RPC traffic breakdown without touching any service implementation.
+type countingServerCodec struct {
+	rwc    io.ReadWriteCloser
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	encBuf *bufio.Writer
+	reg    *metrics.Registry
+	closed bool
+}
+
+func newCountingServerCodec(conn io.ReadWriteCloser, reg *metrics.Registry) rpc.ServerCodec {
+	buf := bufio.NewWriter(conn)
+	return &countingServerCodec{
+		rwc:    conn,
+		dec:    gob.NewDecoder(conn),
+		enc:    gob.NewEncoder(buf),
+		encBuf: buf,
+		reg:    reg,
+	}
+}
+
+func (c *countingServerCodec) ReadRequestHeader(r *rpc.Request) error {
+	if err := c.dec.Decode(r); err != nil {
+		return err
+	}
+	c.reg.Counter("bs_rpc_requests_total", metrics.Label{Key: "method", Value: r.ServiceMethod}).Inc()
+	return nil
+}
+
+func (c *countingServerCodec) ReadRequestBody(body any) error {
+	return c.dec.Decode(body)
+}
+
+func (c *countingServerCodec) WriteResponse(r *rpc.Response, body any) (err error) {
+	if err = c.enc.Encode(r); err != nil {
+		if c.encBuf.Flush() == nil {
+			// Gob couldn't encode the header; the connection is beyond
+			// recovery.
+			c.Close()
+		}
+		return
+	}
+	if err = c.enc.Encode(body); err != nil {
+		if c.encBuf.Flush() == nil {
+			c.Close()
+		}
+		return
+	}
+	return c.encBuf.Flush()
+}
+
+func (c *countingServerCodec) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.rwc.Close()
 }
 
 // Addr returns the node's listen address.
@@ -773,4 +878,12 @@ func (c *Client) ReadTier() (ReadTierReply, error) {
 	var reply ReadTierReply
 	err := c.data.Call(dataService+".ReadTier", &ReadTierArgs{}, &reply)
 	return reply, err
+}
+
+// Metrics returns the data node's metrics registry in Prometheus text
+// exposition format (errors when the node has no metrics role).
+func (c *Client) Metrics() (string, error) {
+	var text string
+	err := c.data.Call(nodeService+".Metrics", &MetricsArgs{}, &text)
+	return text, err
 }

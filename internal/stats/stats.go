@@ -29,13 +29,16 @@ func Summarize(samples []time.Duration) Summary {
 	sorted := make([]time.Duration, len(samples))
 	copy(sorted, samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var total time.Duration
-	for _, d := range sorted {
-		total += d
+	// Incremental mean: a plain `total += d` accumulator overflows
+	// int64 nanoseconds once count*mean exceeds ~292 years, which a
+	// sustained blaster run's sample set can reach.
+	var mean float64
+	for i, d := range sorted {
+		mean += (float64(d) - mean) / float64(i+1)
 	}
 	return Summary{
 		Count: len(sorted),
-		Mean:  total / time.Duration(len(sorted)),
+		Mean:  time.Duration(mean),
 		Min:   sorted[0],
 		Max:   sorted[len(sorted)-1],
 		P50:   Quantile(sorted, 0.50),

@@ -104,3 +104,43 @@ func TestPropQuantilesMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSummarizeMeanDoesNotOverflow(t *testing.T) {
+	// Regression: the mean used to be computed by summing samples into
+	// a time.Duration, which overflows int64 nanoseconds once the
+	// naive sum passes ~292 years — four samples of 100 years each
+	// wrapped negative. The incremental mean must survive sample sets
+	// whose naive sum overflows.
+	century := 100 * 365 * 24 * time.Hour
+	samples := []time.Duration{century, century, century, century}
+	var naive time.Duration
+	for _, d := range samples {
+		naive += d
+	}
+	if naive > 0 {
+		t.Fatalf("test premise broken: naive sum %v did not overflow", naive)
+	}
+	s := Summarize(samples)
+	if s.Mean != century {
+		t.Fatalf("mean = %v, want %v", s.Mean, century)
+	}
+	if s.Min != century || s.Max != century || s.P50 != century {
+		t.Fatalf("summary = %+v", s)
+	}
+
+	// And a long skewed set whose sum also overflows: mean must land
+	// between min and max with only float rounding error.
+	mixed := make([]time.Duration, 0, 400)
+	for i := 0; i < 400; i++ {
+		if i%2 == 0 {
+			mixed = append(mixed, century)
+		} else {
+			mixed = append(mixed, time.Millisecond)
+		}
+	}
+	m := Summarize(mixed)
+	want := century / 2
+	if diff := m.Mean - want; diff < -time.Second || diff > time.Second {
+		t.Fatalf("mixed mean = %v, want ~%v", m.Mean, want)
+	}
+}

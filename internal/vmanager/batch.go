@@ -104,7 +104,7 @@ func (m *Manager) CompleteBatch(reqs []PublishRequest) []error {
 		touched[st] = true
 	}
 	for st := range touched {
-		if st.publishReady() {
+		if st.publishReady(m) {
 			st.cond.Broadcast()
 		}
 	}

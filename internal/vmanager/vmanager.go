@@ -41,9 +41,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/extent"
 	"repro/internal/iosim"
+	"repro/internal/metrics"
 	"repro/internal/segtree"
 )
 
@@ -90,12 +92,20 @@ type blobState struct {
 	pending   map[uint64]bool
 	pins      map[uint64]int
 	reclaimed uint64
+
+	// assigned records the wall-clock ticket-assignment time per
+	// in-flight version, populated only when metrics are wired (entries
+	// are deleted at publication, so the map stays bounded by the
+	// in-flight window).
+	assigned map[uint64]time.Time
 }
 
 // publishReady advances the published watermark over every completed
 // version, resolving aborted versions to their predecessor's root so
-// they become empty snapshots. Callers hold m.mu.
-func (st *blobState) publishReady() bool {
+// they become empty snapshots. Callers hold m.mu; the manager is passed
+// in so each publication is counted and timed (assignment →
+// publication) against its metrics.
+func (st *blobState) publishReady(m *Manager) bool {
 	advanced := false
 	for st.completed[st.published+1] {
 		v := st.published + 1
@@ -105,6 +115,11 @@ func (st *blobState) publishReady() bool {
 		}
 		st.published = v
 		advanced = true
+		m.met.publishTotal.Inc()
+		if t, ok := st.assigned[v]; ok {
+			m.met.publishSec.ObserveSince(t)
+			delete(st.assigned, v)
+		}
 	}
 	return advanced
 }
@@ -119,6 +134,35 @@ type Manager struct {
 	batch   BatchConfig
 	tickets *combiner[ticketReq, Ticket]
 	commits *combiner[PublishRequest, struct{}]
+
+	// met holds nil-tolerant metric handles; all remain nil until
+	// SetMetrics, so an un-wired manager pays only nil checks.
+	met struct {
+		ticketTotal  *metrics.Counter
+		commitTotal  *metrics.Counter
+		abortTotal   *metrics.Counter
+		publishTotal *metrics.Counter
+		ticketSec    *metrics.Histogram
+		commitSec    *metrics.Histogram
+		publishSec   *metrics.Histogram
+	}
+}
+
+// SetMetrics wires the manager's counters and latency histograms into
+// reg: ticket/commit/abort/publish counts, AssignTicket and Complete
+// wall-clock latency (including group-commit queueing), and the
+// assignment-to-publication latency per version. Call before serving
+// traffic; a nil registry leaves metrics disabled.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met.ticketTotal = reg.Counter("bs_vm_ticket_total")
+	m.met.commitTotal = reg.Counter("bs_vm_commit_total")
+	m.met.abortTotal = reg.Counter("bs_vm_abort_total")
+	m.met.publishTotal = reg.Counter("bs_vm_publish_total")
+	m.met.ticketSec = reg.Histogram("bs_vm_ticket_seconds", nil)
+	m.met.commitSec = reg.Histogram("bs_vm_commit_seconds", nil)
+	m.met.publishSec = reg.Histogram("bs_vm_publish_seconds", nil)
 }
 
 // New creates a manager charged with the given cost model per request
@@ -162,6 +206,7 @@ func (m *Manager) CreateBlob(blob uint64, geo segtree.Geometry) error {
 		dropped:   map[uint64]bool{},
 		pending:   map[uint64]bool{},
 		pins:      map[uint64]int{},
+		assigned:  map[uint64]time.Time{},
 	}
 	st.cond = sync.NewCond(&m.mu)
 	m.blobs[blob] = st
@@ -190,6 +235,9 @@ func (m *Manager) AssignTicket(blob uint64, e extent.List) (Ticket, error) {
 	e = e.Normalize()
 	if len(e) == 0 {
 		return Ticket{}, ErrEmptyWrite
+	}
+	if h := m.met.ticketSec; h != nil {
+		defer h.ObserveSince(time.Now())
 	}
 	if cfg := m.Batching(); cfg.MaxBatch > 1 {
 		return m.tickets.do(ticketReq{blob: blob, ext: e}, cfg)
@@ -233,6 +281,10 @@ func (m *Manager) assignTicketLocked(blob uint64, e extent.List) (Ticket, error)
 		size = end
 	}
 	st.sizes[v] = size
+	m.met.ticketTotal.Inc()
+	if m.met.publishSec != nil {
+		st.assigned[v] = time.Now()
+	}
 	return Ticket{Version: v, Borrows: borrows}, nil
 }
 
@@ -242,6 +294,9 @@ func (m *Manager) assignTicketLocked(blob uint64, e extent.List) (Ticket, error)
 // group-committed: the whole group is applied under one lock
 // acquisition and the resulting publications happen with one broadcast.
 func (m *Manager) Complete(blob, v uint64, root segtree.NodeKey) error {
+	if h := m.met.commitSec; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	if cfg := m.Batching(); cfg.MaxBatch > 1 {
 		_, err := m.commits.do(PublishRequest{Blob: blob, Version: v, Root: root}, cfg)
 		return err
@@ -253,7 +308,7 @@ func (m *Manager) Complete(blob, v uint64, root segtree.NodeKey) error {
 	if err != nil {
 		return err
 	}
-	if st.publishReady() {
+	if st.publishReady(m) {
 		st.cond.Broadcast()
 	}
 	return nil
@@ -280,8 +335,10 @@ func (m *Manager) completeLocked(blob, v uint64, root segtree.NodeKey, abort boo
 	st.completed[v] = true
 	if abort {
 		st.aborted[v] = true
+		m.met.abortTotal.Inc()
 	} else {
 		st.roots[v] = root
+		m.met.commitTotal.Inc()
 	}
 	return st, nil
 }
@@ -305,7 +362,7 @@ func (m *Manager) Abort(blob, v uint64) error {
 	if err != nil {
 		return err
 	}
-	if st.publishReady() {
+	if st.publishReady(m) {
 		st.cond.Broadcast()
 	}
 	return nil

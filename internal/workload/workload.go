@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/datatype"
@@ -107,9 +108,11 @@ func (s HotColdSpec) Validate() error {
 	return nil
 }
 
-// HotChunks is the hot-set size in chunks (at least one).
+// HotChunks is the hot-set size in chunks (at least one). A fractional
+// boundary rounds up, matching the HotFraction doc: 15 chunks at 0.1
+// give a 2-chunk hot set, not 1.
 func (s HotColdSpec) HotChunks() int {
-	hot := int(float64(s.Chunks) * s.HotFraction)
+	hot := int(math.Ceil(float64(s.Chunks) * s.HotFraction))
 	if hot < 1 {
 		hot = 1
 	}
@@ -281,4 +284,53 @@ func (s HaloSpec) ExtentsFor(rank int) extent.List {
 func (s HaloSpec) BytesPerRank(rank int) int64 {
 	_, _, w, h := s.Block(rank)
 	return int64(w) * int64(h) * s.ElementSize
+}
+
+// CheckpointSpec describes the N-1 strided checkpoint pattern of
+// defensive-I/O applications: every one of Ranks processes dumps
+// Segments segments of SegmentSize bytes into one shared file, with
+// the segments of all ranks interleaved round-robin — segment s of
+// rank r lands at offset (s*Ranks + r) * SegmentSize. Each epoch
+// rewrites the same extents, so consecutive checkpoints contend on
+// the same chunks and old epochs become garbage the moment retention
+// drops them.
+type CheckpointSpec struct {
+	// Ranks is the number of writer processes sharing the file.
+	Ranks int
+	// Segments is the number of strided segments each rank writes per
+	// checkpoint epoch.
+	Segments int
+	// SegmentSize is the bytes per segment.
+	SegmentSize int64
+}
+
+// Validate checks the spec.
+func (s CheckpointSpec) Validate() error {
+	if s.Ranks < 1 || s.Segments < 1 || s.SegmentSize < 1 {
+		return fmt.Errorf("workload: checkpoint spec needs positive ranks/segments/size, got %+v", s)
+	}
+	return nil
+}
+
+// ExtentsFor returns rank's strided extent list for one epoch. The
+// lists of distinct ranks are disjoint and interleave exactly; the
+// same rank writes the same extents every epoch.
+func (s CheckpointSpec) ExtentsFor(rank int) extent.List {
+	out := make(extent.List, 0, s.Segments)
+	for seg := 0; seg < s.Segments; seg++ {
+		off := (int64(seg)*int64(s.Ranks) + int64(rank)) * s.SegmentSize
+		out = append(out, extent.Extent{Offset: off, Length: s.SegmentSize})
+	}
+	return out
+}
+
+// BytesPerRank is the payload of one rank's checkpoint write.
+func (s CheckpointSpec) BytesPerRank() int64 {
+	return int64(s.Segments) * s.SegmentSize
+}
+
+// FileSpan is the shared file size: all ranks' segments tile it with
+// no holes.
+func (s CheckpointSpec) FileSpan() int64 {
+	return int64(s.Ranks) * int64(s.Segments) * s.SegmentSize
 }

@@ -263,3 +263,82 @@ func TestHotColdAllHot(t *testing.T) {
 		}
 	}
 }
+
+func TestHotColdHotChunksRoundsUp(t *testing.T) {
+	// Regression: the hot-set boundary used to truncate, so 15 chunks
+	// at HotFraction 0.1 gave a 1-chunk hot set despite the documented
+	// round-up. It must be ceil(15*0.1) = 2.
+	cases := []struct {
+		chunks int
+		frac   float64
+		want   int
+	}{
+		{15, 0.1, 2},
+		{10, 0.1, 1},    // exact boundary stays exact
+		{100, 0.25, 25}, // exact boundary stays exact
+		{7, 0.5, 4},     // 3.5 rounds up
+		{3, 0.01, 1},    // floor of at least one chunk
+		{4, 1, 4},       // never exceeds the keyspace
+	}
+	for _, c := range cases {
+		s := HotColdSpec{Chunks: c.chunks, HotFraction: c.frac, HotProb: 0.9}
+		if got := s.HotChunks(); got != c.want {
+			t.Errorf("HotChunks(%d, %v) = %d, want %d", c.chunks, c.frac, got, c.want)
+		}
+	}
+}
+
+func TestCheckpointSpecTilesFile(t *testing.T) {
+	s := CheckpointSpec{Ranks: 4, Segments: 3, SegmentSize: 100}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All ranks' extents together tile [0, FileSpan) exactly once.
+	covered := map[int64]int{}
+	for r := 0; r < s.Ranks; r++ {
+		l := s.ExtentsFor(r)
+		if int64(len(l)) != int64(s.Segments) {
+			t.Fatalf("rank %d extents = %d, want %d", r, len(l), s.Segments)
+		}
+		var bytes int64
+		for _, e := range l {
+			if e.Offset%s.SegmentSize != 0 {
+				t.Fatalf("rank %d extent %v not segment-aligned", r, e)
+			}
+			covered[e.Offset]++
+			bytes += e.Length
+		}
+		if bytes != s.BytesPerRank() {
+			t.Fatalf("rank %d bytes = %d, want %d", r, bytes, s.BytesPerRank())
+		}
+	}
+	want := s.FileSpan() / s.SegmentSize
+	if int64(len(covered)) != want {
+		t.Fatalf("covered %d segment slots, want %d", len(covered), want)
+	}
+	for off, n := range covered {
+		if n != 1 {
+			t.Fatalf("offset %d covered %d times", off, n)
+		}
+	}
+	// The stride interleaves ranks: rank 1's first segment sits one
+	// segment after rank 0's.
+	if got := s.ExtentsFor(1)[0].Offset; got != 100 {
+		t.Fatalf("rank 1 first offset = %d, want 100", got)
+	}
+	if got := s.ExtentsFor(0)[1].Offset; got != 400 {
+		t.Fatalf("rank 0 second offset = %d, want 400 (stride Ranks*SegmentSize)", got)
+	}
+}
+
+func TestCheckpointSpecValidate(t *testing.T) {
+	for _, bad := range []CheckpointSpec{
+		{Ranks: 0, Segments: 1, SegmentSize: 1},
+		{Ranks: 1, Segments: 0, SegmentSize: 1},
+		{Ranks: 1, Segments: 1, SegmentSize: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", bad)
+		}
+	}
+}
