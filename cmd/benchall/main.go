@@ -20,7 +20,9 @@
 // reaper chews the retention backlog and a provider dies mid-run;
 // reported from the metrics registry as per-stage latency
 // histograms: ticket, commit, publish, pipe write, chunk put/get,
-// repair, reap).
+// repair, reap), and E16 control-plane sharding (E8's workload with
+// one blob per client rerun at 1/2/4/8 vmanager shards — publish
+// throughput scaling as the serialized control path is partitioned).
 // Expect a full run to take a few minutes; -quick shrinks the matrix
 // for smoke runs; -only E14 (comma-separated names) selects a subset.
 package main
@@ -29,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,6 +47,7 @@ var experiments = map[string]func(bool){
 	"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4, "E5": runE5,
 	"E6": runE6, "E7": runE7, "E8": runE8, "E9": runE9, "E10": runE10,
 	"E11": runE11, "E12": runE12, "E13": runE13, "E14": runE14,
+	"E16": runE16,
 }
 
 func main() {
@@ -54,12 +59,11 @@ func main() {
 	start := time.Now()
 	switch {
 	case *only != "":
-		for _, name := range strings.Split(*only, ",") {
-			name = strings.TrimSpace(name)
-			run, ok := experiments[name]
-			if !ok {
-				die(fmt.Errorf("unknown experiment %q (know E1..E14)", name))
-			}
+		runners, err := selectRunners(*only)
+		if err != nil {
+			die(err)
+		}
+		for _, run := range runners {
 			run(*quick)
 		}
 	case *headline:
@@ -78,9 +82,43 @@ func main() {
 		runE12(*quick)
 		runE13(*quick)
 		runE14(*quick)
+		runE16(*quick)
 		runE6(*quick)
 	}
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
+}
+
+// selectRunners resolves a -only selector into runners, validating
+// every name before any experiment runs: a typo fails fast with the
+// full list of valid names instead of silently skipping (or worse,
+// failing only after the experiments named before it already ran).
+func selectRunners(only string) ([]func(bool), error) {
+	var runners []func(bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		run, ok := experiments[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(experimentNames(), ", "))
+		}
+		runners = append(runners, run)
+	}
+	return runners, nil
+}
+
+// experimentNames lists the valid -only names in numeric order,
+// derived from the experiments map so the error message can never
+// drift from what actually runs.
+func experimentNames() []string {
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ni, _ := strconv.Atoi(strings.TrimPrefix(names[i], "E"))
+		nj, _ := strconv.Atoi(strings.TrimPrefix(names[j], "E"))
+		return ni < nj
+	})
+	return names
 }
 
 func env() cluster.Env { return cluster.Metered() }
@@ -593,6 +631,64 @@ func runE14(quick bool) {
 			fmt.Sprintf("%.3fms", float64(s.P95.Microseconds())/1000),
 			fmt.Sprintf("%.3fms", float64(s.P99.Microseconds())/1000),
 		)
+	}
+	tbl.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E16: control-plane sharding — E8's overlapped-small-write pipeline
+// with one blob per client, rerun at increasing vmanager shard counts.
+// Small calls make the serialized control round trips (ticket grant +
+// publish) the ceiling; partitioning blobs across shards splits that
+// serialization N ways, so publish throughput should scale near
+// linearly until the data path takes over. shards=1 is the control: it
+// must reproduce E8's single-manager numbers within noise.
+func runE16(quick bool) {
+	clients := 16
+	iters := 16
+	if quick {
+		iters = 8
+	}
+	shardCounts := []int{1, 2, 4, 8}
+	batches := []int{1, 8}
+	// A wide data plane (providers and metadata shards already scale
+	// out) keeps the bottleneck on the one path this experiment
+	// varies: the control plane.
+	e := env()
+	e.Providers = 32
+	e.MetaShards = 16
+	// "ctrl publishes/s" is calls divided by the busiest shard's
+	// metered service time — the control plane's sustainable rate in
+	// the simulation's own currency. Wall time is also shown but on a
+	// small host it is bound by the clients' real CPU work, not by the
+	// modeled control servers this experiment varies.
+	tbl := bench.NewTable("E16: control-plane sharding (16 clients x 4 own blobs, 4 regions x 4 KiB per call, overlap 0.75, pipe depth 4, 32 providers)",
+		"shards", "batch", "ctrl publishes/s", "ctrl busy", "wall", "wall MB/s", "speedup vs shards=1")
+	for _, mb := range batches {
+		cfg := vmanager.BatchConfig{MaxBatch: mb, MaxDelay: 50 * time.Microsecond}
+		var base float64
+		for _, shards := range shardCounts {
+			spec := workload.OverlapSpec{Clients: clients, Regions: 4, RegionSize: 4 << 10, OverlapFraction: 0.75}
+			res, err := bench.RunShardedPublish(e, spec, bench.ShardedPublishOptions{
+				Shards: shards, Iterations: iters, Batch: cfg, PipeDepth: 4, BlobsPerClient: 4,
+			})
+			if err != nil {
+				die(err)
+			}
+			pubRate := float64(res.Calls) / res.CtrlBusy.Seconds()
+			if shards == 1 {
+				base = pubRate
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%d", shards),
+				bench.BatchLabel(cfg),
+				fmt.Sprintf("%.0f", pubRate),
+				fmt.Sprintf("%.1fms", res.CtrlBusy.Seconds()*1e3),
+				fmt.Sprintf("%.3fs", res.Elapsed.Seconds()),
+				fmt.Sprintf("%.1f", res.MBps),
+				fmt.Sprintf("%.2fx", bench.Ratio(pubRate, base)),
+			)
+		}
 	}
 	tbl.Render(os.Stdout)
 	fmt.Println()

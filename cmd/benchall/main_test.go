@@ -1,0 +1,61 @@
+package main
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// An unknown -only name must fail before anything runs, and the error
+// must teach the valid names (derived from the experiments map, so
+// E16 is in and the never-assigned E15 is out).
+func TestSelectRunnersUnknownFailsFast(t *testing.T) {
+	runners, err := selectRunners("E1,E99,E14")
+	if err == nil {
+		t.Fatal("selectRunners accepted unknown experiment E99")
+	}
+	if runners != nil {
+		t.Fatalf("selectRunners returned %d runners alongside the error; want none", len(runners))
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "E99") {
+		t.Errorf("error %q does not name the offending experiment", msg)
+	}
+	for _, want := range []string{"E1", "E14", "E16"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list valid name %s", msg, want)
+		}
+	}
+	if strings.Contains(msg, "E15") {
+		t.Errorf("error %q lists E15, which is not an experiment", msg)
+	}
+}
+
+func TestSelectRunnersValid(t *testing.T) {
+	runners, err := selectRunners("E16, E1")
+	if err != nil {
+		t.Fatalf("selectRunners: %v", err)
+	}
+	if len(runners) != 2 {
+		t.Fatalf("selected %d runners, want 2", len(runners))
+	}
+}
+
+func TestExperimentNamesSortedNumerically(t *testing.T) {
+	names := experimentNames()
+	if len(names) != len(experiments) {
+		t.Fatalf("experimentNames returned %d names for %d experiments", len(names), len(experiments))
+	}
+	nums := make([]int, 0, len(names))
+	for _, n := range names {
+		v, err := strconv.Atoi(strings.TrimPrefix(n, "E"))
+		if err != nil {
+			t.Fatalf("name %q is not E<number>", n)
+		}
+		nums = append(nums, v)
+	}
+	if !sort.IntsAreSorted(nums) {
+		t.Errorf("names not in numeric order: %v", names)
+	}
+}

@@ -4,6 +4,7 @@
 //	blobseerd -listen :4000 -roles vm,meta,data
 //	blobseerd -listen :4001 -roles data -providers 16 -replicas 3
 //	blobseerd -listen :4002 -roles vm -batch 32 -batch-delay 200us
+//	blobseerd -listen :4008 -roles vm -vm-shards 4 -batch 32
 //	blobseerd -listen :4003 -roles data -replicas 3 -self-heal -scrub-interval 50ms
 //	blobseerd -listen :4004 -roles vm,meta,data -replicas 2 -retain 8 -gc-rate 8
 //	blobseerd -listen :4005 -roles data -providers 16 -replicas 3 -domains 4
@@ -47,6 +48,7 @@ func main() {
 		simulate   = flag.Bool("simulate", false, "charge the synthetic cost models")
 		batch      = flag.Int("batch", 1, "version manager group-commit size (vm role; 1 disables)")
 		batchDelay = flag.Duration("batch-delay", 200*time.Microsecond, "max time a group leader lingers for the group to fill")
+		vmShards   = flag.Int("vm-shards", 1, "version manager shards: blobs spread across this many independent control servers by stable blob-ID hash (vm role; 1 = unsharded)")
 
 		selfHeal      = flag.Bool("self-heal", false, "run the autonomous repair loop: error-driven failure detection, background scrubber, read-repair (data role)")
 		failThreshold = flag.Int("fail-threshold", 3, "consecutive store errors before a provider is marked down (self-heal)")
@@ -89,9 +91,14 @@ func main() {
 	for _, role := range strings.Split(*rolesFlag, ",") {
 		switch strings.TrimSpace(role) {
 		case "vm":
-			roles.VM = vmanager.New(ctrlModel)
-			roles.VM.SetBatching(vmanager.BatchConfig{MaxBatch: *batch, MaxDelay: *batchDelay})
-			roles.VM.SetMetrics(reg)
+			if *vmShards < 1 {
+				fmt.Fprintf(os.Stderr, "-vm-shards %d must be at least 1\n", *vmShards)
+				os.Exit(2)
+			}
+			vm := vmanager.NewSharded(ctrlModel, *vmShards)
+			vm.SetBatching(vmanager.BatchConfig{MaxBatch: *batch, MaxDelay: *batchDelay})
+			vm.SetMetrics(reg)
+			roles.VM = vm
 		case "meta":
 			roles.Meta = metadata.NewStore(*shards, metaModel)
 		case "data":
@@ -234,6 +241,9 @@ func main() {
 			parts = append(parts, fmt.Sprintf("read cache %d bytes", *readCache))
 		}
 		fmt.Printf("read tier: %s\n", strings.Join(parts, ", "))
+	}
+	if roles.VM != nil && *vmShards > 1 {
+		fmt.Printf("control plane: %d vmanager shards (stable blob-ID hash)\n", *vmShards)
 	}
 	fmt.Printf("blobseerd serving %s on %s\n", *rolesFlag, node.Addr())
 

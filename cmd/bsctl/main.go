@@ -11,6 +11,7 @@
 //	bsctl domain -provider 2 -name rackB   # register a provider's failure domain
 //	bsctl repair                  # re-replicate chunks that lost copies
 //	bsctl health                  # failure-detector state, grouped by domain, plus the spread audit
+//	bsctl status                  # control-plane shard table: per-shard state, blobs, tickets, published
 //	bsctl scrub [-sync]           # healer stats; -sync forces a full pass
 //	bsctl retain -blob 1 -keep 8  # drop all but the newest 8 versions
 //	bsctl drop -blob 1 -version 3 # drop one version
@@ -216,6 +217,29 @@ func main() {
 			}
 		}
 
+	case "status":
+		shards, err := cli.ShardStatus()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("control plane: %d shard(s)\n", len(shards))
+		var blobs int
+		var tickets, published uint64
+		for _, sh := range shards {
+			state := "up"
+			if sh.Down {
+				state = "DOWN"
+			}
+			fmt.Printf("shard %-3d %-5s %6d blobs %10d tickets %10d published\n",
+				sh.Index, state, sh.Blobs, sh.Tickets, sh.Published)
+			blobs += sh.Blobs
+			tickets += sh.Tickets
+			published += sh.Published
+		}
+		if len(shards) > 1 {
+			fmt.Printf("total     %6d blobs %10d tickets %10d published\n", blobs, tickets, published)
+		}
+
 	case "scrub":
 		st, err := cli.Scrub(*syncScrub)
 		if err != nil {
@@ -413,6 +437,6 @@ func fail(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|readtier|metrics|repair|health|scrub|down|up|domain [flags]")
+	fmt.Fprintln(os.Stderr, "usage: bsctl [-vm addr] [-meta addr] [-data addr] create|write|read|versions|retain|drop|pin|unpin|gc|usage|readtier|status|metrics|repair|health|scrub|down|up|domain [flags]")
 	os.Exit(2)
 }

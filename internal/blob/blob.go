@@ -49,7 +49,10 @@ type VersionService interface {
 	MarkReclaimed(blob, v uint64) error
 }
 
-var _ VersionService = (*vmanager.Manager)(nil)
+var (
+	_ VersionService = (*vmanager.Manager)(nil)
+	_ VersionService = (*vmanager.Sharded)(nil)
+)
 
 // DataService is the data-provider API: store and fetch immutable
 // chunks. Implemented by *provider.Router in-process and by the RPC

@@ -127,6 +127,12 @@ type Env struct {
 	// (versioning deployments only). The zero value disables batching:
 	// one control round trip per request, the pre-batching behavior.
 	VMBatch vmanager.BatchConfig
+	// VMShards partitions the control plane: blobs are spread across
+	// that many independent version-manager shards by a stable hash of
+	// the blob ID, each shard its own control server (own lock, own
+	// exclusive meter, own group-commit combiners). 0 or 1 keeps the
+	// single manager of earlier PRs.
+	VMShards int
 }
 
 // Default returns the unmetered environment used by tests.
@@ -169,6 +175,9 @@ func (e Env) Validate() error {
 	if r := max(e.Replicas, 1); e.WriteQuorum > r {
 		return fmt.Errorf("cluster: write quorum %d exceeds %d replicas", e.WriteQuorum, r)
 	}
+	if e.VMShards < 0 {
+		return fmt.Errorf("cluster: negative vmanager shard count %d", e.VMShards)
+	}
 	return nil
 }
 
@@ -176,7 +185,7 @@ func (e Env) Validate() error {
 // service. Health and Healer are non-nil only when Env.SelfHeal is
 // set; Faults is non-nil only with Env.FaultInjection.
 type Versioning struct {
-	VM        *vmanager.Manager
+	VM        *vmanager.Sharded
 	Meta      *metadata.Store
 	Providers *provider.Manager
 	Router    *provider.Router
@@ -206,7 +215,7 @@ func NewVersioning(env Env) (*Versioning, error) {
 		mgr, _ = provider.NewPoolInDomains(env.Providers, env.Domains, env.DataModel)
 	}
 	reg := metrics.NewRegistry()
-	vm := vmanager.New(env.CtrlModel)
+	vm := vmanager.NewSharded(env.CtrlModel, max(env.VMShards, 1))
 	vm.SetBatching(env.VMBatch)
 	vm.SetMetrics(reg)
 	router := provider.NewRouter(mgr)

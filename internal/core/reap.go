@@ -62,9 +62,9 @@ type ReapRouter interface {
 var _ ReapRouter = (*provider.Router)(nil)
 
 // BlobLister enumerates the registered blob IDs; implemented by
-// *vmanager.Manager. The reaper uses it (via SetCatalog) to discover
-// blobs it was not explicitly handed — the daemon case, where clients
-// create blobs over RPC.
+// *vmanager.Manager and *vmanager.Sharded. The reaper uses it (via
+// SetCatalog) to discover blobs it was not explicitly handed — the
+// daemon case, where clients create blobs over RPC.
 type BlobLister interface {
 	Blobs() []uint64
 }

@@ -37,9 +37,29 @@ const (
 
 // --- Version manager service ---
 
-// VMServer exposes a vmanager.Manager over RPC.
+// VMBackend is what a version-manager node serves: the client-facing
+// VersionService plus the batch entry points the group-commit RPCs use,
+// the blob catalog the reaper walks, and the shard-status report.
+// Implemented by both *vmanager.Manager (single control server) and
+// *vmanager.Sharded (partitioned control plane) — the RPC surface is
+// identical either way, so clients never know how many shards serve
+// them.
+type VMBackend interface {
+	blob.VersionService
+	AssignTicketBatch(reqs []vmanager.TicketRequest) []vmanager.TicketResult
+	CompleteBatch(reqs []vmanager.PublishRequest) []error
+	Blobs() []uint64
+	ShardStatuses() []vmanager.ShardStatus
+}
+
+var (
+	_ VMBackend = (*vmanager.Manager)(nil)
+	_ VMBackend = (*vmanager.Sharded)(nil)
+)
+
+// VMServer exposes a version-manager backend over RPC.
 type VMServer struct {
-	M *vmanager.Manager
+	M VMBackend
 }
 
 // CreateBlobArgs carries blob creation parameters.
@@ -195,6 +215,21 @@ func (s *VMServer) GCInfo(a *GeometryArgs, reply *vmanager.GCInfo) error {
 // were deleted.
 func (s *VMServer) MarkReclaimed(a *SnapshotArgs, _ *struct{}) error {
 	return s.M.MarkReclaimed(a.Blob, a.Version)
+}
+
+// ShardStatusArgs selects the control-plane shard report.
+type ShardStatusArgs struct{}
+
+// ShardStatusReply lists every control-plane shard's status, in shard
+// order (a single unsharded manager reports one shard).
+type ShardStatusReply struct {
+	Shards []vmanager.ShardStatus
+}
+
+// ShardStatus RPC: the per-shard control-plane report (bsctl status).
+func (s *VMServer) ShardStatus(_ *ShardStatusArgs, reply *ShardStatusReply) error {
+	reply.Shards = s.M.ShardStatuses()
+	return nil
 }
 
 // --- Metadata service ---
@@ -485,7 +520,7 @@ func (s *NodeServer) Metrics(_ *MetricsArgs, reply *string) error {
 // Reaper rides along when it runs the version-lifecycle garbage
 // collector.
 type Roles struct {
-	VM     *vmanager.Manager
+	VM     VMBackend
 	Meta   *metadata.Store
 	Data   *provider.Router
 	Health *provider.HealthMonitor
@@ -886,4 +921,12 @@ func (c *Client) Metrics() (string, error) {
 	var text string
 	err := c.data.Call(nodeService+".Metrics", &MetricsArgs{}, &text)
 	return text, err
+}
+
+// ShardStatus returns the version-manager node's per-shard
+// control-plane report.
+func (c *Client) ShardStatus() ([]vmanager.ShardStatus, error) {
+	var reply ShardStatusReply
+	err := c.vm.Call(vmService+".ShardStatus", &ShardStatusArgs{}, &reply)
+	return reply.Shards, err
 }

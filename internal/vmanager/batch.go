@@ -71,6 +71,12 @@ func (m *Manager) AssignTicketBatch(reqs []TicketRequest) []TicketResult {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		for i := range out {
+			out[i].Err = ErrShardDown
+		}
+		return out
+	}
 	for i, r := range reqs {
 		e := r.Extents.Normalize()
 		if len(e) == 0 {
@@ -86,6 +92,11 @@ func (m *Manager) AssignTicketBatch(reqs []TicketRequest) []TicketResult {
 // one lock acquisition and one metered control round trip, then
 // publishes everything that became ready with a single broadcast per
 // blob. Failures are per-request.
+//
+// The batch is atomic against a mid-batch kill (the Crashpoint seam):
+// if the manager dies partway through, the applied prefix is rolled
+// back before anything publishes and every request in the batch fails
+// with ErrShardDown — a batch is never torn.
 func (m *Manager) CompleteBatch(reqs []PublishRequest) []error {
 	out := make([]error, len(reqs))
 	if len(reqs) == 0 {
@@ -94,14 +105,56 @@ func (m *Manager) CompleteBatch(reqs []PublishRequest) []error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	touched := make(map[*blobState]bool)
-	for i, r := range reqs {
+	if m.down {
+		for i := range out {
+			out[i] = ErrShardDown
+		}
+		return out
+	}
+	crash := m.crash
+	type appliedReq struct {
+		st *blobState
+		r  PublishRequest
+	}
+	var applied []appliedReq
+	// One extra iteration so the crashpoint also observes the state
+	// after the last request was applied (a size-1 batch would otherwise
+	// never be seen in flight).
+	for i := 0; i <= len(reqs); i++ {
+		if crash != nil && crash(reqs, len(applied)) {
+			// Kill mid-batch: undo the applied prefix. Nothing published
+			// yet (publishReady runs only after the loop) and no
+			// counters/undo-runs were touched (finishLocked runs only on
+			// success), so deleting the completion records suffices.
+			for _, a := range applied {
+				delete(a.st.completed, a.r.Version)
+				if a.r.Abort {
+					delete(a.st.aborted, a.r.Version)
+				} else {
+					delete(a.st.roots, a.r.Version)
+				}
+			}
+			m.killLocked()
+			for i := range out {
+				out[i] = ErrShardDown
+			}
+			return out
+		}
+		if i == len(reqs) {
+			break
+		}
+		r := reqs[i]
 		st, err := m.completeLocked(r.Blob, r.Version, r.Root, r.Abort)
 		if err != nil {
 			out[i] = err
 			continue
 		}
-		touched[st] = true
+		applied = append(applied, appliedReq{st: st, r: r})
+	}
+	touched := make(map[*blobState]bool)
+	for _, a := range applied {
+		m.finishLocked(a.st, a.r.Version, a.r.Abort)
+		touched[a.st] = true
 	}
 	for st := range touched {
 		if st.publishReady(m) {

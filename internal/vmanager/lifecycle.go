@@ -71,6 +71,9 @@ func (m *Manager) Pin(blob, v uint64) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -90,6 +93,9 @@ func (m *Manager) Unpin(blob, v uint64) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -112,6 +118,9 @@ func (m *Manager) DropVersion(blob, v uint64) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -150,6 +159,9 @@ func (m *Manager) Retain(blob uint64, keepLast int) ([]uint64, error) {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return nil, ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -175,6 +187,9 @@ func (m *Manager) GCInfo(blob uint64) (GCInfo, error) {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return GCInfo{}, ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return GCInfo{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -204,6 +219,9 @@ func (m *Manager) MarkReclaimed(blob, v uint64) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownBlob, blob)

@@ -59,6 +59,102 @@ func (t *pageTree) query(lo, hi int64) uint64 {
 	return t.root.query(0, t.pages, lo, hi)
 }
 
+// stampRun is one maximal constant-version run of pages, as captured by
+// runs. The version manager records the runs a write is about to
+// over-stamp so an abort can put them back (see restoreWhere).
+type stampRun struct {
+	Lo, Hi int64 // page range [Lo, Hi)
+	V      uint64
+}
+
+// runs enumerates the maximal constant-version runs covering pages
+// [lo, hi), in page order. Runs of version 0 (never written) are
+// included, so the concatenation always covers the whole range.
+func (t *pageTree) runs(lo, hi int64) []stampRun {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.pages {
+		hi = t.pages
+	}
+	if lo >= hi {
+		return nil
+	}
+	var out []stampRun
+	t.root.runs(0, t.pages, lo, hi, &out)
+	return out
+}
+
+func (n *ptNode) runs(nodeLo, nodeHi, lo, hi int64, out *[]stampRun) {
+	if n.left == nil {
+		// Never split: every stamp covered this whole node range, so
+		// all pages below share the same version, n.max.
+		clo, chi := max(lo, nodeLo), min(hi, nodeHi)
+		if m := len(*out); m > 0 && (*out)[m-1].Hi == clo && (*out)[m-1].V == n.max {
+			(*out)[m-1].Hi = chi
+		} else {
+			*out = append(*out, stampRun{Lo: clo, Hi: chi, V: n.max})
+		}
+		return
+	}
+	n.push()
+	mid := (nodeLo + nodeHi) / 2
+	if lo < mid {
+		n.left.runs(nodeLo, mid, lo, hi, out)
+	}
+	if hi > mid {
+		n.right.runs(mid, nodeHi, lo, hi, out)
+	}
+}
+
+// restoreWhere lowers every page in [lo, hi) whose current version is
+// exactly `from` back to `to` (to < from). This is the one sanctioned
+// breach of ticket monotonicity: undoing the stamps of an aborted
+// ticket that is still the top stamper of those pages, so later borrow
+// queries skip the aborted write. Pages already over-stamped by a later
+// ticket are left alone — that ticket's data supersedes either way.
+func (t *pageTree) restoreWhere(lo, hi int64, from, to uint64) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > t.pages {
+		hi = t.pages
+	}
+	if lo >= hi || from <= to {
+		return
+	}
+	t.root.restoreWhere(0, t.pages, lo, hi, from, to)
+}
+
+func (n *ptNode) restoreWhere(nodeLo, nodeHi, lo, hi int64, from, to uint64) {
+	if nodeHi <= lo || nodeLo >= hi || n.max < from {
+		return
+	}
+	if n.left == nil {
+		if n.max != from {
+			// Uniform at a version above `from`; no page to restore.
+			return
+		}
+		if lo <= nodeLo && nodeHi <= hi {
+			// Uniform at `from` and fully inside the range: lower it.
+			// Setting lazy too preserves the childless invariant
+			// (max == lazy), so a later partial stamp materializes
+			// children at the restored value.
+			n.max, n.lazy = to, to
+			return
+		}
+		// Uniform at `from` but straddling the range edge: split.
+	}
+	n.push()
+	mid := (nodeLo + nodeHi) / 2
+	n.left.restoreWhere(nodeLo, mid, lo, hi, from, to)
+	n.right.restoreWhere(mid, nodeHi, lo, hi, from, to)
+	n.max = n.left.max
+	if n.right.max > n.max {
+		n.max = n.right.max
+	}
+}
+
 func (n *ptNode) apply(v uint64) {
 	if v > n.max {
 		n.max = v

@@ -1,0 +1,189 @@
+package vmanager
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/extent"
+	"repro/internal/iosim"
+	"repro/internal/segtree"
+)
+
+// TestShardIndexStable pins the routing contract clients and servers
+// both rely on: the blob→shard mapping is a pure function of (blob, n)
+// — stable across router re-instantiation, always in range, and
+// degenerate n collapses to shard 0.
+func TestShardIndexStable(t *testing.T) {
+	f := func(blob uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		want := ShardIndex(blob, n)
+		if want < 0 || want >= n {
+			return false
+		}
+		a := NewSharded(iosim.CostModel{}, n)
+		b := NewSharded(iosim.CostModel{}, n)
+		return a.ShardOf(blob) == want && b.ShardOf(blob) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{-3, 0, 1} {
+		if got := ShardIndex(42, n); got != 0 {
+			t.Fatalf("ShardIndex(42, %d) = %d, want 0", n, got)
+		}
+	}
+}
+
+// TestShardIndexAllReachable: for every shard count up to 64, a modest
+// deterministic ID population must reach every shard — an unreachable
+// shard would silently idle while its peers absorb its load.
+func TestShardIndexAllReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]uint64, 4096)
+	for i := range ids {
+		ids[i] = rng.Uint64()
+	}
+	for n := 1; n <= 64; n++ {
+		hit := make([]bool, n)
+		for _, id := range ids {
+			hit[ShardIndex(id, n)] = true
+		}
+		for s, ok := range hit {
+			if !ok {
+				t.Fatalf("n=%d: shard %d unreachable over %d random IDs", n, s, len(ids))
+			}
+		}
+		// Small sequential IDs — the ones deployments actually mint —
+		// must spread too, or the hash finalizer is broken.
+		hit = make([]bool, n)
+		for id := uint64(1); id <= 4096; id++ {
+			hit[ShardIndex(id, n)] = true
+		}
+		for s, ok := range hit {
+			if !ok {
+				t.Fatalf("n=%d: shard %d unreachable over sequential IDs 1..4096", n, s)
+			}
+		}
+	}
+}
+
+// TestShardedBatchStitch: splitting a batch across shards and
+// re-stitching must preserve request order and per-request error
+// identity — result i belongs to request i with exactly the error a
+// single manager would have produced, and per-blob version sequences
+// are untouched by the fan-out.
+func TestShardedBatchStitch(t *testing.T) {
+	const blobs = 6
+	geo := segtree.Geometry{Capacity: 1024, Page: 64}
+	sharded := NewSharded(iosim.CostModel{}, 4)
+	ref := NewSharded(iosim.CostModel{}, 1)
+	for b := uint64(1); b <= blobs; b++ {
+		for _, s := range []*Sharded{sharded, ref} {
+			if err := s.CreateBlob(b, geo); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// An adversarial batch: interleaved blobs (so the split touches
+	// every shard), repeats (per-blob version sequences), an unknown
+	// blob and an empty extent list (error identity at a fixed index).
+	rng := rand.New(rand.NewSource(2))
+	var reqs []TicketRequest
+	for i := 0; i < 40; i++ {
+		switch i {
+		case 7:
+			reqs = append(reqs, TicketRequest{Blob: 99, Extents: extent.List{{Offset: 0, Length: 64}}})
+		case 23:
+			reqs = append(reqs, TicketRequest{Blob: 1 + uint64(i)%blobs, Extents: nil})
+		default:
+			off := int64(rng.Intn(15)) * 64
+			reqs = append(reqs, TicketRequest{
+				Blob:    1 + uint64(rng.Intn(blobs)),
+				Extents: extent.List{{Offset: off, Length: 64}},
+			})
+		}
+	}
+
+	got := sharded.AssignTicketBatch(reqs)
+	want := ref.AssignTicketBatch(reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("stitched %d results for %d requests", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if (got[i].Err == nil) != (want[i].Err == nil) || !errors.Is(got[i].Err, errKind(want[i].Err)) {
+			t.Fatalf("request %d: err = %v, single-manager reference = %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Err != nil {
+			continue
+		}
+		if got[i].Ticket.Version != want[i].Ticket.Version {
+			t.Fatalf("request %d (blob %d): version %d, single-manager reference %d",
+				i, reqs[i].Blob, got[i].Ticket.Version, want[i].Ticket.Version)
+		}
+	}
+
+	// Publish half the tickets on both deployments, with one
+	// double-complete and one unknown-blob request mixed in; the
+	// stitched error slice must match the reference index by index.
+	var pubs []PublishRequest
+	for i := range reqs {
+		if got[i].Err != nil || i%2 == 0 {
+			continue
+		}
+		pubs = append(pubs, PublishRequest{
+			Blob:    reqs[i].Blob,
+			Version: got[i].Ticket.Version,
+			Root:    segtree.NodeKey{Version: got[i].Ticket.Version, Offset: 0, Size: 1024},
+		})
+	}
+	pubs = append(pubs, pubs[0])                       // double complete
+	pubs = append(pubs, PublishRequest{Blob: 99, Version: 1}) // unknown blob
+	gotErrs := sharded.CompleteBatch(pubs)
+	wantErrs := ref.CompleteBatch(pubs)
+	for i := range pubs {
+		if !errors.Is(gotErrs[i], errKind(wantErrs[i])) {
+			t.Fatalf("publish %d: err = %v, single-manager reference = %v", i, gotErrs[i], wantErrs[i])
+		}
+	}
+}
+
+// errKind maps a reference error to the sentinel identity the stitched
+// result must carry (nil stays nil, so errors.Is(x, nil) checks x==nil).
+func errKind(err error) error {
+	for _, sentinel := range []error{ErrUnknownBlob, ErrEmptyWrite, ErrDoubleComplete, ErrUnknownVersion, ErrShardDown} {
+		if errors.Is(err, sentinel) {
+			return sentinel
+		}
+	}
+	return err
+}
+
+// TestShardedBlobsPartition: every created blob lands on exactly the
+// shard ShardIndex names, and on no other.
+func TestShardedBlobsPartition(t *testing.T) {
+	s := NewSharded(iosim.CostModel{}, 8)
+	geo := segtree.Geometry{Capacity: 1024, Page: 64}
+	for b := uint64(1); b <= 32; b++ {
+		if err := s.CreateBlob(b, geo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]int)
+	for i := 0; i < s.NumShards(); i++ {
+		for _, b := range s.Shard(i).Blobs() {
+			if prev, dup := seen[b]; dup {
+				t.Fatalf("blob %d on shards %d and %d", b, prev, i)
+			}
+			seen[b] = i
+			if want := ShardIndex(b, 8); i != want {
+				t.Fatalf("blob %d on shard %d, ShardIndex says %d", b, i, want)
+			}
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("%d blobs across shards, want 32", len(seen))
+	}
+}

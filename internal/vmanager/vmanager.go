@@ -40,6 +40,7 @@ package vmanager
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -56,6 +57,13 @@ var (
 	ErrEmptyWrite     = errors.New("vmanager: empty extent list")
 	ErrUnknownVersion = errors.New("vmanager: unknown or unpublished version")
 	ErrDoubleComplete = errors.New("vmanager: version completed twice")
+	// ErrShardDown is returned by every operation while the manager is
+	// killed (see Kill/Restart and the Sharded router): the in-process
+	// equivalent of the server being unreachable. Because a killed
+	// manager fails requests before applying them — and a batch
+	// interrupted mid-application is rolled back — ErrShardDown always
+	// means "definitely not committed".
+	ErrShardDown = errors.New("vmanager: shard down")
 )
 
 // Ticket is the response to a write-ticket request: the assigned
@@ -98,6 +106,13 @@ type blobState struct {
 	// are deleted at publication, so the map stays bounded by the
 	// in-flight window).
 	assigned map[uint64]time.Time
+
+	// undo holds, per in-flight ticket, the vmap stamp runs the ticket
+	// over-wrote at assignment. An abort restores them (where the
+	// ticket is still the top stamper), so later borrow queries never
+	// reference the aborted write's metadata; a commit discards them.
+	// Bounded by the in-flight window like assigned.
+	undo map[uint64][]stampRun
 }
 
 // publishReady advances the published watermark over every completed
@@ -124,11 +139,26 @@ func (st *blobState) publishReady(m *Manager) bool {
 	return advanced
 }
 
+// Crashpoint is a test seam for killing a manager mid-batch: it is
+// invoked under the manager lock before each request application of a
+// CompleteBatch and once more after the last, with the whole batch and
+// the count of requests applied so far. Returning true rolls back the
+// batch's applied prefix, marks the manager down, and fails every
+// request in the batch with ErrShardDown — the batch is atomically
+// absent, never torn.
+type Crashpoint func(batch []PublishRequest, applied int) bool
+
 // Manager is the version manager service. Safe for concurrent use.
 type Manager struct {
 	mu    sync.Mutex
 	blobs map[uint64]*blobState
 	meter *iosim.Meter
+
+	// down marks the manager administratively dead (Kill): every
+	// operation fails with ErrShardDown until Restart. crash is the
+	// optional mid-batch kill seam; both are guarded by mu.
+	down  bool
+	crash Crashpoint
 
 	batchMu sync.Mutex
 	batch   BatchConfig
@@ -153,16 +183,19 @@ type Manager struct {
 // wall-clock latency (including group-commit queueing), and the
 // assignment-to-publication latency per version. Call before serving
 // traffic; a nil registry leaves metrics disabled.
-func (m *Manager) SetMetrics(reg *metrics.Registry) {
+// Optional labels distinguish the series when several managers share a
+// registry — the Sharded router passes shard=<i> so each shard's
+// counters stay separate without renaming the bs_vm_* family.
+func (m *Manager) SetMetrics(reg *metrics.Registry, labels ...metrics.Label) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.met.ticketTotal = reg.Counter("bs_vm_ticket_total")
-	m.met.commitTotal = reg.Counter("bs_vm_commit_total")
-	m.met.abortTotal = reg.Counter("bs_vm_abort_total")
-	m.met.publishTotal = reg.Counter("bs_vm_publish_total")
-	m.met.ticketSec = reg.Histogram("bs_vm_ticket_seconds", nil)
-	m.met.commitSec = reg.Histogram("bs_vm_commit_seconds", nil)
-	m.met.publishSec = reg.Histogram("bs_vm_publish_seconds", nil)
+	m.met.ticketTotal = reg.Counter("bs_vm_ticket_total", labels...)
+	m.met.commitTotal = reg.Counter("bs_vm_commit_total", labels...)
+	m.met.abortTotal = reg.Counter("bs_vm_abort_total", labels...)
+	m.met.publishTotal = reg.Counter("bs_vm_publish_total", labels...)
+	m.met.ticketSec = reg.Histogram("bs_vm_ticket_seconds", nil, labels...)
+	m.met.commitSec = reg.Histogram("bs_vm_commit_seconds", nil, labels...)
+	m.met.publishSec = reg.Histogram("bs_vm_publish_seconds", nil, labels...)
 }
 
 // New creates a manager charged with the given cost model per request
@@ -192,6 +225,9 @@ func (m *Manager) CreateBlob(blob uint64, geo segtree.Geometry) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return ErrShardDown
+	}
 	if _, dup := m.blobs[blob]; dup {
 		return fmt.Errorf("%w: %d", ErrBlobExists, blob)
 	}
@@ -207,6 +243,7 @@ func (m *Manager) CreateBlob(blob uint64, geo segtree.Geometry) error {
 		pending:   map[uint64]bool{},
 		pins:      map[uint64]int{},
 		assigned:  map[uint64]time.Time{},
+		undo:      map[uint64][]stampRun{},
 	}
 	st.cond = sync.NewCond(&m.mu)
 	m.blobs[blob] = st
@@ -217,6 +254,9 @@ func (m *Manager) CreateBlob(blob uint64, geo segtree.Geometry) error {
 func (m *Manager) Geometry(blob uint64) (segtree.Geometry, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return segtree.Geometry{}, ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return segtree.Geometry{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -245,6 +285,9 @@ func (m *Manager) AssignTicket(blob uint64, e extent.List) (Ticket, error) {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return Ticket{}, ErrShardDown
+	}
 	return m.assignTicketLocked(blob, e)
 }
 
@@ -269,6 +312,23 @@ func (m *Manager) assignTicketLocked(blob uint64, e extent.List) (Ticket, error)
 			borrows[r] = w
 		}
 	}
+	// Capture the stamp runs this write is about to overwrite, so an
+	// abort can restore them (clamping lo to the previous extent's hi:
+	// adjacent normalized extents can round outward onto a shared
+	// boundary page, which must not be captured twice).
+	var undo []stampRun
+	prevHi := int64(-1)
+	for _, x := range e {
+		lo, hi := x.Offset/page, (x.End()+page-1)/page
+		if lo < prevHi {
+			lo = prevHi
+		}
+		if hi > lo {
+			undo = append(undo, st.vmap.runs(lo, hi)...)
+			prevHi = hi
+		}
+	}
+	st.undo[v] = undo
 	for _, x := range e {
 		// Stamp every page the write touches (ends rounded outward).
 		st.vmap.stamp(x.Offset/page, (x.End()+page-1)/page, v)
@@ -304,10 +364,14 @@ func (m *Manager) Complete(blob, v uint64, root segtree.NodeKey) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return ErrShardDown
+	}
 	st, err := m.completeLocked(blob, v, root, false)
 	if err != nil {
 		return err
 	}
+	m.finishLocked(st, v, false)
 	if st.publishReady(m) {
 		st.cond.Broadcast()
 	}
@@ -335,12 +399,27 @@ func (m *Manager) completeLocked(blob, v uint64, root segtree.NodeKey, abort boo
 	st.completed[v] = true
 	if abort {
 		st.aborted[v] = true
-		m.met.abortTotal.Inc()
 	} else {
 		st.roots[v] = root
-		m.met.commitTotal.Inc()
 	}
 	return st, nil
+}
+
+// finishLocked runs the post-completion bookkeeping completeLocked
+// leaves out so CompleteBatch can roll back an applied prefix before
+// any of it happens: the commit/abort counter bump, and the undo-run
+// handling — an abort restores the vmap stamps the aborted ticket
+// over-wrote (so later borrows skip it), a commit discards them.
+func (m *Manager) finishLocked(st *blobState, v uint64, abort bool) {
+	if abort {
+		for _, r := range st.undo[v] {
+			st.vmap.restoreWhere(r.Lo, r.Hi, v, r.V)
+		}
+		m.met.abortTotal.Inc()
+	} else {
+		m.met.commitTotal.Inc()
+	}
+	delete(st.undo, v)
 }
 
 // Abort gives up a ticket whose write failed after assignment. The
@@ -358,17 +437,24 @@ func (m *Manager) Abort(blob, v uint64) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return ErrShardDown
+	}
 	st, err := m.completeLocked(blob, v, segtree.NodeKey{}, true)
 	if err != nil {
 		return err
 	}
+	m.finishLocked(st, v, true)
 	if st.publishReady(m) {
 		st.cond.Broadcast()
 	}
 	return nil
 }
 
-// WaitPublished blocks until version v of the blob is published.
+// WaitPublished blocks until version v of the blob is published. If the
+// manager is killed while waiting, it returns ErrShardDown — but a
+// version that already published is reported as published even on a
+// down manager, preserving "ErrShardDown means not committed".
 func (m *Manager) WaitPublished(blob, v uint64) error {
 	m.meter.Charge(0)
 	m.mu.Lock()
@@ -381,6 +467,9 @@ func (m *Manager) WaitPublished(blob, v uint64) error {
 		return fmt.Errorf("vmanager: waiting for unassigned version %d", v)
 	}
 	for st.published < v {
+		if m.down {
+			return ErrShardDown
+		}
 		st.cond.Wait()
 	}
 	return nil
@@ -391,6 +480,9 @@ func (m *Manager) LatestPublished(blob uint64) (SnapshotInfo, error) {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return SnapshotInfo{}, ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -403,6 +495,9 @@ func (m *Manager) Snapshot(blob, v uint64) (SnapshotInfo, error) {
 	m.meter.Charge(0)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return SnapshotInfo{}, ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return SnapshotInfo{}, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -423,6 +518,9 @@ func (m *Manager) Snapshot(blob, v uint64) (SnapshotInfo, error) {
 func (m *Manager) Versions(blob uint64) ([]uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.down {
+		return nil, ErrShardDown
+	}
 	st, ok := m.blobs[blob]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlob, blob)
@@ -445,4 +543,110 @@ func (m *Manager) Blobs() []uint64 {
 		out = append(out, id)
 	}
 	return out
+}
+
+// VersionRef names one version of one blob; Restart reports the
+// versions it recovery-aborted as refs.
+type VersionRef struct {
+	Blob    uint64
+	Version uint64
+}
+
+// ShardStatus is the operator-visible state of one manager (shard):
+// reported by the manager itself, aggregated by the Sharded router, and
+// surfaced over RPC for bsctl.
+type ShardStatus struct {
+	Index     int    // position in the shard set (0 for a lone manager)
+	Down      bool   // killed and not yet restarted
+	Blobs     int    // blobs owned by this shard
+	Tickets   uint64 // tickets assigned across those blobs
+	Published uint64 // versions published across those blobs
+}
+
+// SetCrashpoint installs (or, with nil, removes) the mid-batch kill
+// seam. Test-only; see Crashpoint.
+func (m *Manager) SetCrashpoint(cp Crashpoint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crash = cp
+}
+
+// Down reports whether the manager is killed.
+func (m *Manager) Down() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+// Kill marks the manager down: every subsequent operation fails with
+// ErrShardDown until Restart, and every blocked WaitPublished waiter is
+// woken to observe the death. State already committed is retained —
+// kill models a crash of the serving process, not data loss.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.killLocked()
+}
+
+func (m *Manager) killLocked() {
+	m.down = true
+	for _, st := range m.blobs {
+		st.cond.Broadcast()
+	}
+}
+
+// Restart brings a killed manager back. Every ticket that was assigned
+// but not completed at kill time is recovery-aborted — its writer is
+// gone, and ErrShardDown promised it did not commit — so the publish
+// watermark advances over the dead window and new writes proceed
+// immediately. Returns the versions aborted this way, in order, so
+// callers (and the shard-kill torture suite) can check every in-flight
+// ticket was observably aborted rather than left torn.
+func (m *Manager) Restart() []VersionRef {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.down {
+		return nil
+	}
+	m.down = false
+	var aborted []VersionRef
+	for id, st := range m.blobs {
+		for v := st.published + 1; v < st.next; v++ {
+			if st.completed[v] {
+				continue
+			}
+			st.completed[v] = true
+			st.aborted[v] = true
+			m.finishLocked(st, v, true)
+			aborted = append(aborted, VersionRef{Blob: id, Version: v})
+		}
+		if st.publishReady(m) {
+			st.cond.Broadcast()
+		}
+	}
+	sort.Slice(aborted, func(i, j int) bool {
+		if aborted[i].Blob != aborted[j].Blob {
+			return aborted[i].Blob < aborted[j].Blob
+		}
+		return aborted[i].Version < aborted[j].Version
+	})
+	return aborted
+}
+
+// Status reports the manager's shard status, with the given index.
+func (m *Manager) Status(index int) ShardStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := ShardStatus{Index: index, Down: m.down, Blobs: len(m.blobs)}
+	for _, st := range m.blobs {
+		s.Tickets += st.next - 1
+		s.Published += st.published
+	}
+	return s
+}
+
+// ShardStatuses reports the manager as a one-shard control plane,
+// matching the Sharded router's method of the same name.
+func (m *Manager) ShardStatuses() []ShardStatus {
+	return []ShardStatus{m.Status(0)}
 }

@@ -1,0 +1,132 @@
+package vmanager
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/extent"
+	"repro/internal/iosim"
+	"repro/internal/segtree"
+)
+
+// waitResult runs WaitPublished(blob=1, v) in a goroutine and returns
+// a channel carrying its result, so tests can assert both "woke with
+// X" and "did not hang".
+func waitResult(m *Manager, v uint64) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- m.WaitPublished(1, v) }()
+	return done
+}
+
+func mustWake(t *testing.T, done <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitPublished still blocked; abort did not wake the waiter")
+		return nil
+	}
+}
+
+// TestWaitPublishedWakesOnAbort: a waiter blocked on a version that is
+// then aborted must wake with nil — the abort publishes the version as
+// an empty snapshot, and a waiter left sleeping on it would deadlock
+// every writer whose predecessor died.
+func TestWaitPublishedWakesOnAbort(t *testing.T) {
+	m := newMgr(t)
+	tk, err := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitResult(m, tk.Version)
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	if err := m.Abort(1, tk.Version); err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWake(t, done); err != nil {
+		t.Fatalf("waiter on aborted version woke with %v, want nil", err)
+	}
+}
+
+// TestWaitPublishedAbortUnblocksSuccessor: a waiter on a completed
+// version blocked behind an earlier in-flight ticket must wake when
+// that earlier ticket aborts.
+func TestWaitPublishedAbortUnblocksSuccessor(t *testing.T) {
+	m := newMgr(t)
+	t1, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	t2, _ := m.AssignTicket(1, extent.List{{Offset: 64, Length: 64}})
+	if err := m.Complete(1, t2.Version, segtree.NodeKey{Version: t2.Version, Offset: 0, Size: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	done := waitResult(m, t2.Version)
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Abort(1, t1.Version); err != nil {
+		t.Fatal(err)
+	}
+	if err := mustWake(t, done); err != nil {
+		t.Fatalf("waiter behind aborted predecessor woke with %v, want nil", err)
+	}
+}
+
+// TestWaitPublishedWakesOnBatchedAbort: same contract through the
+// group-commit path — an abort applied by CompleteBatch must broadcast
+// to waiters exactly like the unbatched path.
+func TestWaitPublishedWakesOnBatchedAbort(t *testing.T) {
+	m := newMgr(t)
+	tk, err := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitResult(m, tk.Version)
+	time.Sleep(10 * time.Millisecond)
+	errs := m.CompleteBatch([]PublishRequest{{Blob: 1, Version: tk.Version, Abort: true}})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if err := mustWake(t, done); err != nil {
+		t.Fatalf("waiter woke with %v after batched abort, want nil", err)
+	}
+}
+
+// TestWaitPublishedWakesOnKill: killing the manager must wake blocked
+// waiters with ErrShardDown rather than stranding them, and a version
+// that already published stays reported as published even when the
+// manager is down (ErrShardDown strictly means "not committed").
+func TestWaitPublishedWakesOnKill(t *testing.T) {
+	m := newMgr(t)
+	t1, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	if err := m.Complete(1, t1.Version, segtree.NodeKey{Version: t1.Version, Offset: 0, Size: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := m.AssignTicket(1, extent.List{{Offset: 64, Length: 64}})
+	done := waitResult(m, t2.Version)
+	time.Sleep(10 * time.Millisecond)
+	m.Kill()
+	if err := mustWake(t, done); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("waiter on killed manager woke with %v, want ErrShardDown", err)
+	}
+	if err := m.WaitPublished(1, t1.Version); err != nil {
+		t.Fatalf("published version reported %v on a down manager, want nil", err)
+	}
+}
+
+// TestWaitPublishedWakesOnRestartRecovery: a waiter blocked across a
+// kill/restart cycle is woken by the kill; a fresh waiter after
+// Restart sees the recovery abort as published.
+func TestWaitPublishedWakesOnRestartRecovery(t *testing.T) {
+	m := New(iosim.CostModel{})
+	if err := m.CreateBlob(1, segtree.Geometry{Capacity: 1024, Page: 64}); err != nil {
+		t.Fatal(err)
+	}
+	tk, _ := m.AssignTicket(1, extent.List{{Offset: 0, Length: 64}})
+	m.Kill()
+	aborted := m.Restart()
+	if len(aborted) != 1 || aborted[0] != (VersionRef{Blob: 1, Version: tk.Version}) {
+		t.Fatalf("restart aborted %v, want [{1 %d}]", aborted, tk.Version)
+	}
+	if err := mustWake(t, waitResult(m, tk.Version)); err != nil {
+		t.Fatalf("recovery-aborted version waits with %v, want nil (published as empty)", err)
+	}
+}
