@@ -10,6 +10,7 @@
 //	blobseerd -listen :4005 -roles data -providers 16 -replicas 3 -domains 4
 //	blobseerd -listen :4006 -roles data -replicas 2 -domains rackA,rackB,rackC
 //	blobseerd -listen :4007 -roles data -replicas 2 -domains 4 -domain zone0 -read-cache 67108864
+//	blobseerd -listen :4009 -roles data -providers 16 -store disk:///var/blobseer/chunks
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
 // of the three roles, which may be the same node or different nodes.
@@ -44,6 +45,7 @@ func main() {
 		replicas   = flag.Int("replicas", 1, "copies stored per chunk, on distinct providers (data role)")
 		quorum     = flag.Int("quorum", 0, "copies that must land for a write to commit (0 = replicas-1, min 1)")
 		domains    = flag.String("domains", "", "failure domains to rack the providers into: a count (\"4\" -> zone0..zone3) or comma-separated labels; replicas then spread across distinct domains (data role)")
+		storeURL   = flag.String("store", "mem://", "chunk store backend URL: mem://, disk:///path (one subdirectory per provider), or null:// (discard payloads, bench-only) (data role)")
 		shards     = flag.Int("shards", 8, "metadata shards (meta role)")
 		simulate   = flag.Bool("simulate", false, "charge the synthetic cost models")
 		batch      = flag.Int("batch", 1, "version manager group-commit size (vm role; 1 disables)")
@@ -115,7 +117,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			pool, _ := provider.NewPool(*providers, dataModel)
+			pool, _, err := provider.NewURLPoolInDomains(*storeURL, *providers, 0, dataModel, false)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 			for i, label := range labels {
 				if label == "" {
 					continue // flat default; SetDomain refuses untagging
@@ -231,6 +237,9 @@ func main() {
 			// promise a correlated-loss guarantee that does not exist.
 			fmt.Println("failure domains: 1 (flat placement — spreading needs at least 2 domains)")
 		}
+	}
+	if roles.Data != nil && *storeURL != "mem://" {
+		fmt.Printf("chunk store: %s (one backend per provider)\n", *storeURL)
 	}
 	if roles.Data != nil && (*localDomain != "" || *readCache > 0) {
 		parts := []string{}

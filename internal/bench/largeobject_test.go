@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// TestRunLargeObject drives every E17 cell at a CI-sized object and
+// checks the round trip verifies on byte-keeping backends.
+func TestRunLargeObject(t *testing.T) {
+	dir := t.TempDir()
+	opts := LargeObjectOptions{Size: 4 << 20, ChunkSize: 256 << 10, Providers: 4}
+	for _, c := range []LargeObjectCase{
+		{Framed: false, Pipelined: false, StoreURL: "mem://"},
+		{Framed: true, Pipelined: true, StoreURL: "mem://"},
+		{Framed: true, Pipelined: true, StoreURL: "disk://" + dir + "/a"},
+		{Framed: true, Pipelined: false, StoreURL: "null://"},
+		{Framed: false, Pipelined: true, StoreURL: "disk://" + dir + "/b"},
+	} {
+		res, err := RunLargeObject(c, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if res.WriteMBps <= 0 || res.ReadMBps <= 0 {
+			t.Fatalf("%s: non-positive throughput %+v", c.Name(), res)
+		}
+	}
+}
+
+// TestLargeObjectCaseNames pins the table labels.
+func TestLargeObjectCaseNames(t *testing.T) {
+	c := LargeObjectCase{Framed: true, Pipelined: true, StoreURL: "fault+disk:///x"}
+	if got := c.Name(); got != "framed+streamed/disk" {
+		t.Fatalf("Name() = %q", got)
+	}
+	c = LargeObjectCase{StoreURL: "mem://"}
+	if got := c.Name(); got != "gob+buffered/mem" {
+		t.Fatalf("Name() = %q", got)
+	}
+}

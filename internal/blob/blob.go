@@ -119,7 +119,24 @@ type WriteOptions struct {
 	// Parallelism bounds concurrent chunk stores; 0 means one inflight
 	// request per data provider piece (fully parallel).
 	Parallelism int
+	// Pipelined overlaps chunk upload with segment-tree construction:
+	// inner metadata nodes are stored while the first chunks are still
+	// in flight, and each leaf is stored as soon as the chunks covering
+	// it land (segtree.Builder), instead of store-all-then-build. Same
+	// atomicity and publication semantics — the version is invisible
+	// until Complete — but large writes hide most of the metadata
+	// latency behind the uploads.
+	Pipelined bool
+	// Window bounds in-flight chunk stores in pipelined mode (<= 0
+	// means DefaultWindow). The window is what keeps memory and
+	// provider queueing bounded while still keeping the upload pipe
+	// full.
+	Window int
 }
+
+// DefaultWindow is the pipelined write path's default in-flight chunk
+// bound.
+const DefaultWindow = 8
 
 // Create registers a new blob with the given geometry and returns its
 // handle.
@@ -196,19 +213,35 @@ func (b *Blob) WriteList(vec extent.Vec, opts WriteOptions) (uint64, error) {
 		return 0, err
 	}
 
-	// Step 2: stripe the data into page-aligned pieces and store them
-	// in parallel across the data providers (round-robin allocation).
-	placed, err := b.storeChunks(tk.Version, vec, opts.Parallelism)
-	if err != nil {
-		b.retireTicket(tk, norm)
-		return 0, err
-	}
-
-	// Step 3: build shadowed metadata; no other writer is consulted.
-	root, err := b.tree.Build(tk.Version, placed, tk.Borrows)
-	if err != nil {
-		b.retireTicket(tk, norm)
-		return 0, err
+	// Steps 2+3: store page-aligned chunks across the data providers
+	// and build the shadowed metadata — sequentially by default,
+	// overlapped when the write is pipelined.
+	var root segtree.NodeKey
+	if opts.Pipelined {
+		var dirty bool
+		root, dirty, err = b.writePipelined(tk, vec, opts.Window)
+		if err != nil {
+			if dirty {
+				// The builder already stored nodes under this ticket; a
+				// tombstone build would collide with them, so retire via
+				// Abort directly.
+				_ = b.svc.VM.Abort(b.id, tk.Version)
+			} else {
+				b.retireTicket(tk, norm)
+			}
+			return 0, err
+		}
+	} else {
+		placed, err := b.storeChunks(tk.Version, vec, opts.Parallelism)
+		if err != nil {
+			b.retireTicket(tk, norm)
+			return 0, err
+		}
+		root, err = b.tree.Build(tk.Version, placed, tk.Borrows)
+		if err != nil {
+			b.retireTicket(tk, norm)
+			return 0, err
+		}
 	}
 
 	// Step 4: hand the snapshot to the version manager for in-order
@@ -250,20 +283,21 @@ func (b *Blob) retireTicket(tk vmanager.Ticket, touched extent.List) {
 	}
 }
 
-// storeChunks splits the write into page-aligned pieces, stores each as
-// one immutable chunk and returns the placement list sorted by offset.
-func (b *Blob) storeChunks(version uint64, vec extent.Vec, parallelism int) ([]segtree.Placed, error) {
-	type piece struct {
-		ext  extent.Extent
-		data []byte
-	}
+// piece is one page-aligned slice of a write vector: a stripe unit,
+// stored as one chunk and referenced by one tree leaf.
+type piece struct {
+	ext  extent.Extent
+	data []byte
+}
+
+// splitPieces cuts the write vector at page boundaries so each piece
+// maps to one stripe unit / tree leaf.
+func (b *Blob) splitPieces(vec extent.Vec) []piece {
 	var pieces []piece
 	var start int64
 	for _, e := range vec.Extents {
 		data := vec.Buf[start : start+e.Length]
 		start += e.Length
-		// Split at page boundaries so each piece maps to one stripe
-		// unit / tree leaf.
 		off := e.Offset
 		for len(data) > 0 {
 			boundary := (off/b.geo.Page + 1) * b.geo.Page
@@ -276,7 +310,13 @@ func (b *Blob) storeChunks(version uint64, vec extent.Vec, parallelism int) ([]s
 			data = data[n:]
 		}
 	}
+	return pieces
+}
 
+// storeChunks splits the write into page-aligned pieces, stores each as
+// one immutable chunk and returns the placement list sorted by offset.
+func (b *Blob) storeChunks(version uint64, vec extent.Vec, parallelism int) ([]segtree.Placed, error) {
+	pieces := b.splitPieces(vec)
 	placed := make([]segtree.Placed, len(pieces))
 	if parallelism <= 0 || parallelism > len(pieces) {
 		parallelism = len(pieces)
@@ -312,6 +352,68 @@ func (b *Blob) storeChunks(version uint64, vec extent.Vec, parallelism int) ([]s
 		return nil, fmt.Errorf("blob: store chunks: %w", err)
 	}
 	return placed, nil
+}
+
+// writePipelined is the overlapped form of storeChunks + tree.Build:
+// a segtree.Builder plans the whole tree up front and stores inner
+// nodes immediately, while chunk uploads proceed under a bounded
+// in-flight window, each completed upload releasing its tree leaf. The
+// returned dirty flag reports whether any metadata node was stored
+// under the ticket — it decides between tombstone retirement and Abort
+// on failure (see WriteList).
+func (b *Blob) writePipelined(tk vmanager.Ticket, vec extent.Vec, window int) (root segtree.NodeKey, dirty bool, err error) {
+	pieces := b.splitPieces(vec)
+	exts := make([]extent.Extent, len(pieces))
+	for i, p := range pieces {
+		exts[i] = p.ext
+	}
+	builder, err := b.tree.NewBuilder(tk.Version, exts, tk.Borrows)
+	if err != nil {
+		return segtree.NodeKey{}, false, err
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if window > len(pieces) {
+		window = len(pieces)
+	}
+	sem := make(chan struct{}, window)
+	errs := make(chan error, len(pieces))
+	var wg sync.WaitGroup
+	for i, p := range pieces {
+		wg.Add(1)
+		go func(i int, p piece) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			key := chunk.Key{Blob: b.id, Version: tk.Version, Index: uint32(i)}
+			ids, perr := b.svc.Data.Put(key, p.data)
+			if perr != nil {
+				errs <- perr
+				return
+			}
+			replicas := make([]uint32, len(ids))
+			for j, id := range ids {
+				replicas[j] = uint32(id)
+			}
+			builder.SetPiece(i, chunk.Ref{Key: key, Offset: 0, Length: p.ext.Length, Replicas: replicas})
+		}(i, p)
+	}
+	wg.Wait()
+	close(errs)
+	storeErr := <-errs
+	// Finish drains the builder's in-flight node stores either way; on
+	// the failure path some leaves never completed and were never
+	// attempted — only what WAS attempted matters for Dirty.
+	root, buildErr := builder.Finish()
+	dirty = builder.Dirty()
+	if storeErr != nil {
+		return segtree.NodeKey{}, dirty, fmt.Errorf("blob: store chunks: %w", storeErr)
+	}
+	if buildErr != nil {
+		return segtree.NodeKey{}, dirty, buildErr
+	}
+	return root, dirty, nil
 }
 
 // WaitPublished blocks until version v is published, making it visible

@@ -2,6 +2,7 @@ package chunk
 
 import (
 	"errors"
+	"io"
 	"sync/atomic"
 )
 
@@ -26,6 +27,12 @@ type FaultStore struct {
 	failPuts atomic.Int64 // number of upcoming Puts to fail
 	failGets atomic.Int64 // number of upcoming Gets to fail
 	down     atomic.Bool  // permanent failure of every operation
+
+	// Stream faults fire mid-transfer rather than at call time; each
+	// holds threshold+1 bytes so the zero value means disarmed, and is
+	// claimed by the next stream that starts (one-shot).
+	failPutStream atomic.Int64
+	failGetStream atomic.Int64
 }
 
 var _ Store = (*FaultStore)(nil)
@@ -83,6 +90,105 @@ func (f *FaultStore) Delete(key Key) error {
 		return ErrDown
 	}
 	return f.Inner.Delete(key)
+}
+
+// FailPutStreamAfter arms the next PutFromReader to fail with
+// ErrInjected after roughly n payload bytes have been consumed — a
+// writer dying mid-upload. One-shot: the first stream that starts
+// claims the fault.
+func (f *FaultStore) FailPutStreamAfter(n int64) { f.failPutStream.Store(n + 1) }
+
+// FailGetStreamAfter arms the next OpenReader's stream to fail with
+// ErrInjected after roughly n bytes have been served — a reader losing
+// its provider mid-download. One-shot.
+func (f *FaultStore) FailGetStreamAfter(n int64) { f.failGetStream.Store(n + 1) }
+
+// claimStream takes an armed stream-fault threshold, returning
+// (threshold, true) at most once per arming.
+func claimStream(c *atomic.Int64) (int64, bool) {
+	v := c.Swap(0)
+	if v <= 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+// faultReader injects mid-stream failures: ErrDown as soon as the
+// store goes down (an in-flight transfer dies with the machine), and
+// ErrInjected once the armed byte threshold is crossed.
+type faultReader struct {
+	r     io.Reader
+	f     *FaultStore
+	limit int64 // remaining bytes before ErrInjected; -1 = disarmed
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	if fr.f.down.Load() {
+		return 0, ErrDown
+	}
+	if fr.limit >= 0 {
+		if fr.limit == 0 {
+			return 0, ErrInjected
+		}
+		if int64(len(p)) > fr.limit {
+			p = p[:fr.limit]
+		}
+	}
+	n, err := fr.r.Read(p)
+	if fr.limit >= 0 {
+		fr.limit -= int64(n)
+	}
+	return n, err
+}
+
+// faultReadCloser is faultReader over an owned stream.
+type faultReadCloser struct {
+	faultReader
+	c io.Closer
+}
+
+func (frc *faultReadCloser) Close() error { return frc.c.Close() }
+
+// PutFromReader implements Store. Injection points: call time (the
+// fail-next-Puts counter and down mode, as for Put) and mid-stream
+// (FailPutStreamAfter, or the store going down while the payload is in
+// flight). Mid-stream failures surface through the inner store's
+// reader, whose write protocol guarantees the torn chunk is never
+// visible.
+func (f *FaultStore) PutFromReader(key Key, size int64, r io.Reader) error {
+	if f.down.Load() {
+		return ErrDown
+	}
+	if take(&f.failPuts) {
+		return ErrInjected
+	}
+	limit := int64(-1)
+	if n, ok := claimStream(&f.failPutStream); ok {
+		limit = n
+	}
+	return f.Inner.PutFromReader(key, size, &faultReader{r: r, f: f, limit: limit})
+}
+
+// OpenReader implements Store. Injection points: open time (the
+// fail-next-Gets counter and down mode) and mid-stream
+// (FailGetStreamAfter, or the store going down while the read is in
+// flight).
+func (f *FaultStore) OpenReader(key Key, off, length int64) (io.ReadCloser, error) {
+	if f.down.Load() {
+		return nil, ErrDown
+	}
+	if take(&f.failGets) {
+		return nil, ErrInjected
+	}
+	rc, err := f.Inner.OpenReader(key, off, length)
+	if err != nil {
+		return nil, err
+	}
+	limit := int64(-1)
+	if n, ok := claimStream(&f.failGetStream); ok {
+		limit = n
+	}
+	return &faultReadCloser{faultReader: faultReader{r: rc, f: f, limit: limit}, c: rc}, nil
 }
 
 // Count implements Store.

@@ -119,6 +119,15 @@ type Env struct {
 	// (Router.ReadLocality). Works with or without ReadCache.
 	LocalDomain string
 
+	// StoreURL selects the chunk store backend of every data provider
+	// via the chunk backend factory: "mem://" (the default when empty),
+	// "disk:///path" (one per-provider subdirectory under path),
+	// "null://" (discard payloads, bench-only), optionally wrapped with
+	// the "fault+" prefix. FaultInjection composes with any backend —
+	// the factory's store is wrapped in a chunk.FaultStore and the
+	// handles exposed as Versioning.Faults.
+	StoreURL string
+
 	DataModel iosim.CostModel // per provider / OST
 	MetaModel iosim.CostModel // per metadata shard
 	CtrlModel iosim.CostModel // version manager, lock manager, detector RPCs
@@ -178,6 +187,11 @@ func (e Env) Validate() error {
 	if e.VMShards < 0 {
 		return fmt.Errorf("cluster: negative vmanager shard count %d", e.VMShards)
 	}
+	if e.StoreURL != "" {
+		if err := chunk.ValidStoreURL(e.StoreURL); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -209,9 +223,16 @@ func NewVersioning(env Env) (*Versioning, error) {
 	}
 	var mgr *provider.Manager
 	var faults []*chunk.FaultStore
-	if env.FaultInjection {
+	switch {
+	case env.StoreURL != "":
+		var err error
+		mgr, faults, err = provider.NewURLPoolInDomains(env.StoreURL, env.Providers, env.Domains, env.DataModel, env.FaultInjection)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: open store %q: %w", env.StoreURL, err)
+		}
+	case env.FaultInjection:
 		mgr, faults = provider.NewFaultPoolInDomains(env.Providers, env.Domains, env.DataModel)
-	} else {
+	default:
 		mgr, _ = provider.NewPoolInDomains(env.Providers, env.Domains, env.DataModel)
 	}
 	reg := metrics.NewRegistry()

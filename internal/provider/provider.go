@@ -340,6 +340,35 @@ func NewFaultPoolInDomains(n, domains int, model iosim.CostModel) (*Manager, []*
 	return m, faults
 }
 
+// NewURLPoolInDomains builds a pool whose provider stores come from
+// the chunk backend factory: the pool-level URL is specialized per
+// provider (disk schemes get a /pN subdirectory) and opened with an
+// exclusive meter, so -store mem:// matches NewPoolInDomains exactly
+// while disk:// and null:// swap the medium without touching placement.
+// With faulty set, every store is additionally wrapped in a
+// chunk.FaultStore (reusing the wrapper when the URL already carries
+// the fault+ prefix) and the handles are returned by provider index.
+func NewURLPoolInDomains(rawURL string, n, domains int, model iosim.CostModel, faulty bool) (*Manager, []*chunk.FaultStore, error) {
+	m := NewManager()
+	var faults []*chunk.FaultStore
+	for i := 0; i < n; i++ {
+		s, err := chunk.OpenStore(chunk.ForProvider(rawURL, uint32(i)), iosim.NewMeter(model, true))
+		if err != nil {
+			return nil, nil, fmt.Errorf("provider %d: %w", i, err)
+		}
+		if faulty {
+			fs, ok := s.(*chunk.FaultStore)
+			if !ok {
+				fs = chunk.NewFaultStore(s)
+			}
+			faults = append(faults, fs)
+			s = fs
+		}
+		m.Register(NewInDomain(ID(i), s, DomainLabel(i, n, domains)))
+	}
+	return m, faults, nil
+}
+
 // Register adds a provider to the pool.
 func (m *Manager) Register(p *Provider) {
 	m.mu.Lock()

@@ -1,0 +1,194 @@
+package remote
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/blob"
+	"repro/internal/chunk"
+	"repro/internal/iosim"
+	"repro/internal/metadata"
+	"repro/internal/metrics"
+	"repro/internal/provider"
+	"repro/internal/segtree"
+	"repro/internal/vmanager"
+)
+
+func dialFramedClient(t *testing.T, ep Endpoints) *Client {
+	t.Helper()
+	c, err := DialFramed(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestFramedChunkRoundTrip drives Put/Get/GetFrom over the framed wire
+// against a live node and checks payload fidelity for both a
+// sub-frame-sized chunk and one spanning several frames.
+func TestFramedChunkRoundTrip(t *testing.T) {
+	_, ep := startNode(t)
+	c := dialFramedClient(t, ep)
+
+	for i, size := range []int{100, maxFrame*2 + 7777} {
+		key := chunk.Key{Blob: 1, Version: 1, Index: uint32(i)}
+		data := make([]byte, size)
+		for j := range data {
+			data[j] = byte(j*13 + i)
+		}
+		ids, err := c.Put(key, data)
+		if err != nil {
+			t.Fatalf("framed Put(%d bytes): %v", size, err)
+		}
+		if len(ids) == 0 {
+			t.Fatal("framed Put returned no replica set")
+		}
+		got, err := c.Get(key, 0, int64(size))
+		if err != nil {
+			t.Fatalf("framed Get(%d bytes): %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("framed Get(%d bytes): payload mismatch", size)
+		}
+		// Ranged read through the hint path.
+		part, fresh, err := c.GetFrom(ids, key, int64(size)/2, int64(size)/4)
+		if err != nil {
+			t.Fatalf("framed GetFrom: %v", err)
+		}
+		if fresh != nil {
+			t.Fatalf("fresh set on a correct hint: %v", fresh)
+		}
+		if !bytes.Equal(part, data[size/2:size/2+size/4]) {
+			t.Fatal("framed GetFrom: payload mismatch")
+		}
+	}
+}
+
+// TestFramedErrorsKeepConnection checks that server-reported errors
+// (double put, missing chunk) travel the wire without poisoning the
+// pooled connection: the next operation on the same client succeeds.
+func TestFramedErrorsKeepConnection(t *testing.T) {
+	// One provider, so the duplicate put lands on the same store and
+	// surfaces the ErrExists protocol violation.
+	mgr, _ := provider.NewPool(1, iosim.CostModel{})
+	node, err := Listen("127.0.0.1:0", Roles{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: provider.NewRouter(mgr),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	ep := Endpoints{VM: node.Addr(), Meta: node.Addr(), Data: node.Addr()}
+	c := dialFramedClient(t, ep)
+
+	key := chunk.Key{Blob: 2, Version: 1, Index: 0}
+	data := bytes.Repeat([]byte("x"), 4096)
+	if _, err := c.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(key, data); err == nil || !strings.Contains(err.Error(), "exists") {
+		t.Fatalf("double put: got %v, want exists error", err)
+	}
+	if _, err := c.Get(chunk.Key{Blob: 99}, 0, 1); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("missing get: got %v, want not-found error", err)
+	}
+	// The connection survived both errors.
+	got, err := c.Get(key, 0, int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get after errors: %v", err)
+	}
+}
+
+// TestFramedAndGobCoexist pins the negotiation: a gob client and a
+// framed client share one node, and a full blob write/read cycle works
+// through each.
+func TestFramedAndGobCoexist(t *testing.T) {
+	_, ep := startNode(t)
+	gobC := dialClient(t, ep)
+	frC := dialFramedClient(t, ep)
+
+	for i, c := range []*Client{gobC, frC} {
+		b, err := blob.Create(c.Services(), uint64(i+1), segtree.Geometry{Capacity: 1 << 20, Page: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{byte(i + 1)}, 64<<10)
+		v, err := b.Write(0, data, blob.WriteOptions{})
+		if err != nil {
+			t.Fatalf("client %d write: %v", i, err)
+		}
+		got, err := b.ReadAt(v, 0, int64(len(data)))
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("client %d read: %v", i, err)
+		}
+	}
+	// Cross-visibility: the framed client reads the blob the gob client
+	// wrote.
+	b, err := blob.Open(frC.Services(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := b.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadAt(info.Version, 0, 64<<10)
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{1}, 64<<10)) {
+		t.Fatalf("cross-protocol read: %v", err)
+	}
+}
+
+// TestFramedMetrics checks the data-plane counters advance on a node
+// with a metrics role.
+func TestFramedMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := provider.NewPool(3, iosim.CostModel{})
+	node, err := Listen("127.0.0.1:0", Roles{
+		VM:      vmanager.New(iosim.CostModel{}),
+		Meta:    metadata.NewStore(2, iosim.CostModel{}),
+		Data:    provider.NewRouter(mgr),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	ep := Endpoints{VM: node.Addr(), Meta: node.Addr(), Data: node.Addr()}
+	c := dialFramedClient(t, ep)
+
+	key := chunk.Key{Blob: 3, Version: 1, Index: 0}
+	data := make([]byte, maxFrame+1000) // two frames up, two frames back
+	if _, err := c.Put(key, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(key, 0, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "bs_data_frames_total 4") {
+		t.Fatalf("want 4 data frames, got:\n%s", text)
+	}
+	want := int64(2 * (maxFrame + 1000))
+	if !strings.Contains(text, "bs_data_stream_bytes_total "+itoa(want)) {
+		t.Fatalf("want %d stream bytes, got:\n%s", want, text)
+	}
+}
+
+func itoa(v int64) string {
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -538,6 +538,7 @@ type Node struct {
 	lis net.Listener
 	srv *rpc.Server
 	reg *metrics.Registry // nil when the node has no metrics role
+	fr  *framedServer     // nil unless the node hosts the data role
 }
 
 // Listen starts serving the given roles on addr (e.g. "127.0.0.1:0").
@@ -571,6 +572,9 @@ func Listen(addr string, roles Roles) (*Node, error) {
 		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
 	}
 	n := &Node{lis: lis, srv: srv, reg: roles.Metrics}
+	if roles.Data != nil {
+		n.fr = newFramedServer(roles.Data, roles.Metrics)
+	}
 	go n.acceptLoop()
 	return n, nil
 }
@@ -581,13 +585,47 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		if n.reg != nil {
-			go n.srv.ServeCodec(newCountingServerCodec(conn, n.reg))
-		} else {
-			go n.srv.ServeConn(conn)
-		}
+		go n.handleConn(conn)
 	}
 }
+
+// handleConn negotiates the connection's protocol by peeking its first
+// bytes: the framed data plane announces itself with a 4-byte magic,
+// everything else is a gob RPC client. The peek happens off the accept
+// loop because it blocks until the client's first write.
+func (n *Node) handleConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	head, err := br.Peek(len(framedMagic))
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if string(head) == framedMagic {
+		if n.fr == nil {
+			conn.Close() // framed client on a node with no data role
+			return
+		}
+		br.Discard(len(framedMagic))
+		n.fr.serve(conn, br)
+		return
+	}
+	// Gob fallthrough: the peeked bytes stay in br, so the RPC codec
+	// must read through it.
+	bc := &bufferedConn{Conn: conn, r: br}
+	if n.reg != nil {
+		n.srv.ServeCodec(newCountingServerCodec(bc, n.reg))
+	} else {
+		n.srv.ServeConn(bc)
+	}
+}
+
+// bufferedConn splices a peeked bufio.Reader back onto its connection.
+type bufferedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
 
 // countingServerCodec is the stdlib gob server codec with one addition:
 // every decoded request header counts into
@@ -666,6 +704,11 @@ type Client struct {
 	vm   *rpc.Client
 	meta *rpc.Client
 	data *rpc.Client
+
+	// pool, when non-nil (DialFramed), carries PutChunk/GetChunk over
+	// the framed data plane on a pool of dedicated connections; control
+	// RPCs stay on the gob connections above.
+	pool *framedPool
 }
 
 // Endpoints names the service addresses a client needs. Any subset may
@@ -695,8 +738,26 @@ func Dial(ep Endpoints) (*Client, error) {
 	return c, nil
 }
 
+// DialFramed connects like Dial but moves the chunk data path onto the
+// framed wire protocol: Put/Get/GetFrom stream payloads in frames over
+// a pool of dedicated data connections (so concurrent transfers
+// pipeline instead of serializing on one gob stream), while every
+// control RPC stays gob. The server negotiates per connection, so
+// framed and gob clients coexist against the same node.
+func DialFramed(ep Endpoints) (*Client, error) {
+	c, err := Dial(ep)
+	if err != nil {
+		return nil, err
+	}
+	c.pool = newFramedPool(ep.Data)
+	return c, nil
+}
+
 // Close terminates all connections.
 func (c *Client) Close() error {
+	if c.pool != nil {
+		c.pool.close()
+	}
 	return errors.Join(c.vm.Close(), c.meta.Close(), c.data.Close())
 }
 
@@ -823,15 +884,24 @@ func (c *Client) TryGetNode(blobID uint64, key segtree.NodeKey) (*segtree.Node, 
 	return reply.Node, reply.Found, nil
 }
 
-// Put implements blob.DataService.
+// Put implements blob.DataService, over the framed plane when the
+// client dialed with DialFramed.
 func (c *Client) Put(key chunk.Key, data []byte) ([]provider.ID, error) {
+	if c.pool != nil {
+		return c.pool.put(key, data)
+	}
 	var ids []provider.ID
 	err := c.data.Call(dataService+".PutChunk", &PutChunkArgs{Key: key, Data: data}, &ids)
 	return ids, err
 }
 
-// Get implements blob.DataService.
+// Get implements blob.DataService, over the framed plane when the
+// client dialed with DialFramed.
 func (c *Client) Get(key chunk.Key, off, length int64) ([]byte, error) {
+	if c.pool != nil {
+		data, _, err := c.pool.get(nil, key, off, length)
+		return data, err
+	}
 	var reply GetChunkReply
 	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length}, &reply)
 	return reply.Data, err
@@ -842,6 +912,9 @@ func (c *Client) Get(key chunk.Key, off, length int64) ([]byte, error) {
 // non-nil fresh replica set means the hint was stale and the caller
 // should cache the returned set.
 func (c *Client) GetFrom(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, []provider.ID, error) {
+	if c.pool != nil {
+		return c.pool.get(replicas, key, off, length)
+	}
 	var reply GetChunkReply
 	err := c.data.Call(dataService+".GetChunk", &GetChunkArgs{Key: key, Off: off, Length: length, Replicas: replicas}, &reply)
 	return reply.Data, reply.Fresh, err

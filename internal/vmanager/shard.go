@@ -1,6 +1,7 @@
 package vmanager
 
 import (
+	"fmt"
 	"strconv"
 	"sync"
 
@@ -96,9 +97,21 @@ func (s *Sharded) SetBatching(cfg BatchConfig) {
 	}
 }
 
-// Batching returns the group-commit configuration (uniform across
-// shards; shard 0 is authoritative).
-func (s *Sharded) Batching() BatchConfig { return s.shards[0].Batching() }
+// Batching returns the group-commit configuration shared by every
+// shard. SetBatching applies one config pool-wide, so divergence is
+// only reachable by configuring a shard behind Shard(i) directly —
+// that breaks the uniformity the batch router's splitting assumes, so
+// Batching panics rather than silently reporting shard 0's view as the
+// pool's.
+func (s *Sharded) Batching() BatchConfig {
+	cfg := s.shards[0].Batching()
+	for i, m := range s.shards[1:] {
+		if got := m.Batching(); got != cfg {
+			panic(fmt.Sprintf("vmanager: shard %d batching %+v diverges from shard 0 %+v (configure via Sharded.SetBatching, not Shard(i))", i+1, got, cfg))
+		}
+	}
+	return cfg
+}
 
 // SetMetrics wires every shard into the registry. A single shard keeps
 // the unlabeled bs_vm_* series (identical to a lone Manager, so

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/extent"
 	"repro/internal/iosim"
@@ -186,4 +187,28 @@ func TestShardedBlobsPartition(t *testing.T) {
 	if len(seen) != 32 {
 		t.Fatalf("%d blobs across shards, want 32", len(seen))
 	}
+}
+
+// TestShardedBatchingUniform pins the Batching accessor: the shared
+// config must come back regardless of which shard a pre-fix reader
+// would have consulted, and a divergent per-shard config (reachable
+// only via Shard(i).SetBatching) panics instead of being silently
+// misreported as shard 0's view.
+func TestShardedBatchingUniform(t *testing.T) {
+	s := NewSharded(iosim.CostModel{}, 4)
+	cfg := BatchConfig{MaxBatch: 16, MaxDelay: 5 * time.Millisecond}
+	s.SetBatching(cfg)
+	if got := s.Batching(); got != cfg {
+		t.Fatalf("Batching() = %+v, want %+v", got, cfg)
+	}
+
+	// Diverge a non-zero shard behind the router's back. The old
+	// accessor returned shard 0's config and hid this.
+	s.Shard(2).SetBatching(BatchConfig{MaxBatch: 99})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Batching() must panic on divergent per-shard configs")
+		}
+	}()
+	s.Batching()
 }
