@@ -27,7 +27,11 @@
 // writing and reading a large object through a live TCP node, across
 // data-plane transport gob vs framed, write mode buffered vs
 // streamed, and chunk backend mem/disk/null, plus a size sweep of
-// the winning combination).
+// the winning combination), and E18 erasure-coded stripes (the same
+// domain-racked pool and workload run under rs-4+2 coding vs the R=3
+// replicated control: storage overhead, write bandwidth, and read
+// throughput healthy and with one whole failure domain dead —
+// equivalent domain-kill durability at 1.5x storage instead of 3x).
 // Expect a full run to take a few minutes; -quick shrinks the matrix
 // for smoke runs; -only E14 (comma-separated names) selects a subset.
 package main
@@ -52,7 +56,7 @@ var experiments = map[string]func(bool){
 	"E1": runE1, "E2": runE2, "E3": runE3, "E4": runE4, "E5": runE5,
 	"E6": runE6, "E7": runE7, "E8": runE8, "E9": runE9, "E10": runE10,
 	"E11": runE11, "E12": runE12, "E13": runE13, "E14": runE14,
-	"E16": runE16, "E17": runE17,
+	"E16": runE16, "E17": runE17, "E18": runE18,
 }
 
 func main() {
@@ -89,6 +93,7 @@ func main() {
 		runE14(*quick)
 		runE16(*quick)
 		runE17(*quick)
+		runE18(*quick)
 		runE6(*quick)
 	}
 	fmt.Printf("\ntotal benchmark wall time: %.1fs\n", time.Since(start).Seconds())
@@ -798,6 +803,45 @@ func runE17(quick bool) {
 		)
 	}
 	sweep.Render(os.Stdout)
+	fmt.Println()
+}
+
+// E18: erasure-coded stripes — the same domain-racked pool and
+// overlapped workload run under rs-4+2 coding and under the R=3
+// replicated control. Both tolerate the loss of any two fragment/copy
+// holders; the storage column is what that tolerance costs each mode
+// (1.5x vs 3x), and the degraded column is what reconstruction costs
+// reads when one whole failure domain is dead.
+func runE18(quick bool) {
+	clients, iters := 8, 4
+	if quick {
+		clients, iters = 4, 2
+	}
+	e := env()
+	e.Providers = 12
+	spec := workload.OverlapSpec{Clients: clients, Regions: 4, RegionSize: 64 << 10, OverlapFraction: 0.5}
+	tbl := bench.NewTable(
+		fmt.Sprintf("E18: erasure-coded stripes vs replication (%d clients x 4 regions x 64 KiB, 12 providers / 6 domains, domain zone0 killed)", clients),
+		"mode", "storage", "write MB/s", "read MB/s", "degraded MB/s", "lost", "repair")
+	for _, opts := range []bench.CodedOptions{
+		{Replicas: 3, Domains: 6, Iterations: iters},
+		{Coding: "rs-4+2", Domains: 6, Iterations: iters},
+	} {
+		res, err := bench.RunCoded(e, spec, opts)
+		if err != nil {
+			die(err)
+		}
+		tbl.AddRow(
+			res.Mode,
+			fmt.Sprintf("%.2fx", res.StorageX),
+			fmt.Sprintf("%.1f", res.WriteMBps),
+			fmt.Sprintf("%.1f", res.ReadMBps),
+			fmt.Sprintf("%.1f", res.DegradedMBps),
+			fmt.Sprintf("%d", res.Lost),
+			fmt.Sprintf("%.3fs", res.RepairElapsed.Seconds()),
+		)
+	}
+	tbl.Render(os.Stdout)
 	fmt.Println()
 }
 

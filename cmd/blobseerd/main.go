@@ -11,6 +11,7 @@
 //	blobseerd -listen :4006 -roles data -replicas 2 -domains rackA,rackB,rackC
 //	blobseerd -listen :4007 -roles data -replicas 2 -domains 4 -domain zone0 -read-cache 67108864
 //	blobseerd -listen :4009 -roles data -providers 16 -store disk:///var/blobseer/chunks
+//	blobseerd -listen :4010 -roles data -providers 8 -coding rs-4+2 -domains 6
 //
 // Clients (cmd/bsctl, examples/distributed) connect with the endpoints
 // of the three roles, which may be the same node or different nodes.
@@ -43,7 +44,8 @@ func main() {
 		rolesFlag  = flag.String("roles", "vm,meta,data", "roles to host: vm, meta, data")
 		providers  = flag.Int("providers", 8, "data providers behind this node (data role)")
 		replicas   = flag.Int("replicas", 1, "copies stored per chunk, on distinct providers (data role)")
-		quorum     = flag.Int("quorum", 0, "copies that must land for a write to commit (0 = replicas-1, min 1)")
+		coding     = flag.String("coding", "", "erasure-coded placement instead of replication: rs-k+m (e.g. rs-4+2) stripes each chunk into k data + m parity fragments on k+m distinct providers; mutually exclusive with -replicas > 1 (data role)")
+		quorum     = flag.Int("quorum", 0, "copies (or coded fragments) that must land for a write to commit (0 = replicas-1 min 1, coded k+m-1 min k)")
 		domains    = flag.String("domains", "", "failure domains to rack the providers into: a count (\"4\" -> zone0..zone3) or comma-separated labels; replicas then spread across distinct domains (data role)")
 		storeURL   = flag.String("store", "mem://", "chunk store backend URL: mem://, disk:///path (one subdirectory per provider), or null:// (discard payloads, bench-only) (data role)")
 		shards     = flag.Int("shards", 8, "metadata shards (meta role)")
@@ -108,7 +110,25 @@ func main() {
 				fmt.Fprintf(os.Stderr, "-replicas %d exceeds -providers %d\n", *replicas, *providers)
 				os.Exit(2)
 			}
-			if r := max(*replicas, 1); *quorum > r {
+			codeK, codeM, err := provider.ParseCoding(*coding)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if *coding != "" {
+				if *replicas > 1 {
+					fmt.Fprintf(os.Stderr, "-coding %s is mutually exclusive with -replicas %d\n", *coding, *replicas)
+					os.Exit(2)
+				}
+				if codeK+codeM > *providers {
+					fmt.Fprintf(os.Stderr, "-coding %s needs %d providers, -providers is %d\n", *coding, codeK+codeM, *providers)
+					os.Exit(2)
+				}
+				if *quorum != 0 && (*quorum < codeK || *quorum > codeK+codeM) {
+					fmt.Fprintf(os.Stderr, "-quorum %d outside [%d, %d] for -coding %s\n", *quorum, codeK, codeK+codeM, *coding)
+					os.Exit(2)
+				}
+			} else if r := max(*replicas, 1); *quorum > r {
 				fmt.Fprintf(os.Stderr, "-quorum %d exceeds -replicas %d\n", *quorum, r)
 				os.Exit(2)
 			}
@@ -134,6 +154,12 @@ func main() {
 			roles.Data = provider.NewRouter(pool)
 			roles.Data.SetMetrics(reg)
 			roles.Data.SetReplicas(*replicas)
+			if *coding != "" {
+				if err := roles.Data.SetCoding(codeK, codeM); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+			}
 			roles.Data.SetWriteQuorum(*quorum)
 			if *localDomain != "" {
 				roles.Data.SetLocalDomain(*localDomain)
@@ -237,6 +263,11 @@ func main() {
 			// promise a correlated-loss guarantee that does not exist.
 			fmt.Println("failure domains: 1 (flat placement — spreading needs at least 2 domains)")
 		}
+	}
+	if roles.Data != nil && *coding != "" {
+		k, m, _ := roles.Data.Coding()
+		fmt.Printf("erasure coding: %s (%d data + %d parity fragments per chunk, any %d losses survivable, %.2fx storage)\n",
+			*coding, k, m, m, float64(k+m)/float64(k))
 	}
 	if roles.Data != nil && *storeURL != "mem://" {
 		fmt.Printf("chunk store: %s (one backend per provider)\n", *storeURL)

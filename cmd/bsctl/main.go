@@ -152,6 +152,16 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		// Placement mode first: it sets the durability promise the rest
+		// of the report is judged against.
+		if mode, err := cli.Coding(); err == nil {
+			if mode.Coded {
+				fmt.Printf("placement: erasure coded rs-%d+%d (any %d fragment losses survivable, %.2fx storage), write quorum %d/%d\n",
+					mode.K, mode.M, mode.M, float64(mode.K+mode.M)/float64(mode.K), mode.Quorum, mode.K+mode.M)
+			} else {
+				fmt.Printf("placement: %d-way replication, write quorum %d\n", max(mode.Replicas, 1), mode.Quorum)
+			}
+		}
 		// Group by failure domain: a domain losing machines together is
 		// the loss unit the spread placement defends against.
 		var domains []string

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/extent"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+// CodedOptions tunes RunCoded.
+type CodedOptions struct {
+	// Coding selects erasure-coded placement ("rs-4+2"); empty runs the
+	// replicated control at Replicas instead — same pool, same domains,
+	// same workload, only the placement mode differs.
+	Coding string
+	// Replicas is the replication degree of the control cell (>= 2;
+	// ignored when Coding is set).
+	Replicas int
+	// Domains is the failure-domain count (and the loss unit: the whole
+	// first domain dies for the degraded phase). Default 6.
+	Domains int
+	// Iterations is the number of write calls per client (default 1).
+	Iterations int
+	// ReadCalls is the number of full-file reads per client in each
+	// read phase (default 2).
+	ReadCalls int
+}
+
+// CodedResult is one measured placement-mode cell: what the durability
+// costs in storage and write bandwidth, and what a whole-domain loss
+// costs in read performance — the comparison erasure coding exists for.
+type CodedResult struct {
+	Mode         string // "rs-4+2" or "R=3"
+	Clients      int
+	WrittenBytes int64
+	StoredBytes  int64
+	// StorageX is stored bytes over written bytes: (k+m)/k for coded
+	// placement, R for replication — the storage price of durability.
+	StorageX      float64
+	WriteMBps     float64
+	ReadMBps      float64 // all domains healthy
+	DegradedMBps  float64 // one whole domain down: failover / reconstruct
+	Killed        int     // providers lost (the whole first domain)
+	Lost          int     // chunks unreadable after the kill (data loss)
+	RepairElapsed time.Duration
+	Repair        provider.RepairStats
+}
+
+// RunCoded measures experiment E18: N clients write an overlapped
+// workload under either erasure-coded (rs-k+m) or replicated (R)
+// placement over a domain-racked pool, read it back healthy, then one
+// whole failure domain dies and the reads repeat — replication fails
+// over to surviving copies, coding reconstructs from any k fragments —
+// and a repair pass restores full degree. The headline is the storage
+// column: rs-4+2 buys two-domain-loss durability at 1.5x storage where
+// R=3 pays 3x for the same tolerance.
+func RunCoded(env cluster.Env, spec workload.OverlapSpec, opts CodedOptions) (CodedResult, error) {
+	if err := spec.Validate(); err != nil {
+		return CodedResult{}, err
+	}
+	if opts.Domains <= 0 {
+		opts.Domains = 6
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 1
+	}
+	reads := opts.ReadCalls
+	if reads <= 0 {
+		reads = 2
+	}
+	res := CodedResult{Clients: spec.Clients}
+	if opts.Coding != "" {
+		env.Coding = opts.Coding
+		env.Replicas = 0
+		res.Mode = opts.Coding
+	} else {
+		if opts.Replicas < 2 {
+			return CodedResult{}, fmt.Errorf("bench: replicated control needs R >= 2, got %d", opts.Replicas)
+		}
+		env.Replicas = opts.Replicas
+		res.Mode = fmt.Sprintf("R=%d", opts.Replicas)
+	}
+	env.Domains = opts.Domains
+	svc, err := cluster.NewVersioning(env)
+	if err != nil {
+		return CodedResult{}, err
+	}
+	be, err := svc.Backend(1, spec.FileSpan())
+	if err != nil {
+		return CodedResult{}, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+
+	// Write phase.
+	start := time.Now()
+	errs := make([]error, spec.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exts := spec.ExtentsFor(w)
+			buf := make([]byte, exts.TotalLength())
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			for it := 0; it < iters; it++ {
+				vec, err := extent.NewVec(exts, buf)
+				if err == nil {
+					err = d.WriteList(vec, true)
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	elapsed := time.Since(start)
+	res.WrittenBytes = int64(spec.Clients) * int64(iters) * spec.BytesPerClient()
+	res.WriteMBps = mbps(res.WrittenBytes, elapsed)
+	for _, u := range svc.Router.Usage() {
+		res.StoredBytes += u.Bytes
+	}
+	if res.WrittenBytes > 0 {
+		res.StorageX = float64(res.StoredBytes) / float64(res.WrittenBytes)
+	}
+
+	span := spec.FileSpan()
+	readPhase := func() (float64, error) {
+		start := time.Now()
+		errs := make([]error, spec.Clients)
+		var wg sync.WaitGroup
+		for w := 0; w < spec.Clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < reads; i++ {
+					if _, err := d.ReadList(extent.List{{Offset: 0, Length: span}}, true); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return mbps(int64(spec.Clients)*int64(reads)*span, time.Since(start)), nil
+	}
+	if res.ReadMBps, err = readPhase(); err != nil {
+		return res, fmt.Errorf("bench: healthy read phase: %w", err)
+	}
+
+	// Kill the whole first failure domain (flag level — the detector or
+	// operator has noticed; E12 measures the detection path).
+	for i := 0; i < env.Providers; i++ {
+		if provider.DomainLabel(i, env.Providers, opts.Domains) == "zone0" {
+			if err := svc.Providers.SetDown(provider.ID(i), true); err != nil {
+				return res, err
+			}
+			res.Killed++
+		}
+	}
+
+	// Durability accounting: a coded chunk needs k live fragments, a
+	// replicated chunk one live copy.
+	need := 1
+	if k, _, on := svc.Router.Coding(); on {
+		need = k
+	}
+	for _, key := range svc.Router.Keys() {
+		if live, _, known := svc.Router.ReplicaHealth(key); known && live < need {
+			res.Lost++
+		}
+	}
+	if res.Lost > 0 {
+		return res, fmt.Errorf("bench: %s lost %d chunks to a single-domain kill", res.Mode, res.Lost)
+	}
+
+	// Degraded reads: replication fails over, coding reconstructs.
+	if res.DegradedMBps, err = readPhase(); err != nil {
+		return res, fmt.Errorf("bench: degraded read phase: %w", err)
+	}
+
+	// Repair restores full degree into the surviving domains.
+	start = time.Now()
+	res.Repair = svc.Router.Repair()
+	res.RepairElapsed = time.Since(start)
+	if res.Repair.Lost > 0 || res.Repair.Failed > 0 {
+		return res, fmt.Errorf("bench: repair after domain kill: %+v", res.Repair)
+	}
+	if _, err := be.Scrub(); err != nil {
+		return res, fmt.Errorf("bench: scrub after repair: %w", err)
+	}
+	return res, nil
+}

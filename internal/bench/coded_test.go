@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestRunCoded smoke-tests E18 unmetered: both placement modes survive
+// a whole-domain kill with zero loss, and the storage columns land at
+// their analytic values — (k+m)/k for rs-4+2, R for the replicated
+// control. The gap between those two numbers is the experiment.
+func TestRunCoded(t *testing.T) {
+	e := cluster.Default()
+	e.Providers = 12
+	spec := workload.OverlapSpec{Clients: 4, Regions: 4, RegionSize: 64 << 10, OverlapFraction: 0.5}
+
+	coded, err := RunCoded(e, spec, CodedOptions{Coding: "rs-4+2", Domains: 6})
+	if err != nil {
+		t.Fatalf("coded: %v", err)
+	}
+	if coded.Lost != 0 {
+		t.Fatalf("coded placement lost data to a single-domain kill: %+v", coded)
+	}
+	if coded.StorageX > 1.6 || coded.StorageX < 1.4 {
+		t.Fatalf("rs-4+2 storage overhead %.2fx, want ~1.5x", coded.StorageX)
+	}
+	if coded.Repair.Failed > 0 || coded.Repair.Lost > 0 {
+		t.Fatalf("coded repair after domain kill: %+v", coded.Repair)
+	}
+
+	repl, err := RunCoded(e, spec, CodedOptions{Replicas: 3, Domains: 6})
+	if err != nil {
+		t.Fatalf("replicated control: %v", err)
+	}
+	if repl.Lost != 0 {
+		t.Fatalf("replicated control lost data: %+v", repl)
+	}
+	if repl.StorageX < 2.9 {
+		t.Fatalf("R=3 storage overhead %.2fx, want ~3x", repl.StorageX)
+	}
+}
+
+// TestRunCodedValidation: a bad coding spec and a replica-less control
+// must both fail typed, before any cluster is built.
+func TestRunCodedValidation(t *testing.T) {
+	spec := workload.OverlapSpec{Clients: 2, Regions: 4, RegionSize: 4 << 10, OverlapFraction: 0.5}
+	if _, err := RunCoded(cluster.Default(), spec, CodedOptions{Coding: "rs-0+2"}); err == nil {
+		t.Fatal("RunCoded accepted rs-0+2")
+	}
+	if _, err := RunCoded(cluster.Default(), spec, CodedOptions{Replicas: 1}); err == nil {
+		t.Fatal("RunCoded accepted a replicated control at R=1")
+	}
+}

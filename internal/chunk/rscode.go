@@ -1,0 +1,284 @@
+// Reed-Solomon erasure coding over GF(2^8) for chunk fragments. A
+// chunk of S bytes is split into k data shards of ceil(S/k) bytes
+// (the last zero-padded) and extended with m parity shards; any k of
+// the k+m shards reconstruct the original bytes. The code is
+// systematic — data shards hold the chunk bytes verbatim — so intact
+// reads never pay a decode. Pure Go, table-driven, no dependencies.
+package chunk
+
+import "fmt"
+
+// GF(2^8) with the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D) and
+// generator 2 — the field used by virtually every RS storage code.
+var (
+	gfExp [512]byte      // exp table doubled so mul needs no mod
+	gfLog [256]int       // log table; gfLog[0] unused
+	rsMul [256][256]byte // full multiplication table for the hot loop
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		gfExp[i] = x
+		gfLog[x] = i
+		// multiply x by the generator 2 in GF(2^8)
+		if x&0x80 != 0 {
+			x = (x << 1) ^ 0x1D
+		} else {
+			x <<= 1
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			rsMul[a][b] = gfExp[gfLog[a]+gfLog[b]]
+		}
+	}
+}
+
+func gfMul(a, b byte) byte { return rsMul[a][b] }
+
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("chunk: GF(256) inverse of zero")
+	}
+	return gfExp[255-gfLog[a]]
+}
+
+// RSCode is a systematic k+m Reed-Solomon code. The generator matrix
+// is [I_k ; C] where C is the m×k Cauchy matrix C[i][j] =
+// 1/((k+i) XOR j): every square submatrix of a Cauchy matrix is
+// invertible, so any k of the k+m rows — any k surviving shards —
+// suffice to reconstruct.
+type RSCode struct {
+	K, M   int
+	parity [][]byte // m rows × k cols of the generator's parity half
+}
+
+// NewRSCode builds a k data + m parity code. The Cauchy construction
+// needs k+m distinct nonzero field elements of the form (k+i)^j, which
+// bounds k+m at 256.
+func NewRSCode(k, m int) (*RSCode, error) {
+	if k < 1 || m < 1 || k+m > 256 {
+		return nil, fmt.Errorf("chunk: invalid RS code %d+%d (need k>=1, m>=1, k+m<=256)", k, m)
+	}
+	c := &RSCode{K: k, M: m, parity: make([][]byte, m)}
+	for i := 0; i < m; i++ {
+		c.parity[i] = make([]byte, k)
+		for j := 0; j < k; j++ {
+			c.parity[i][j] = gfInv(byte(k+i) ^ byte(j))
+		}
+	}
+	return c, nil
+}
+
+// ShardSize is the per-fragment size for a chunk of size bytes: the
+// chunk is padded up to a multiple of K so all shards are equal.
+func (c *RSCode) ShardSize(size int64) int64 {
+	if size <= 0 {
+		return 0
+	}
+	return (size + int64(c.K) - 1) / int64(c.K)
+}
+
+// Encode splits data into K shards (last one zero-padded) and appends
+// M parity shards; the returned slice has K+M entries of equal length.
+// The data shards alias the input where possible; only the padded tail
+// and the parity rows allocate.
+func (c *RSCode) Encode(data []byte) [][]byte {
+	ss := c.ShardSize(int64(len(data)))
+	shards := make([][]byte, c.K+c.M)
+	for i := 0; i < c.K; i++ {
+		lo := int64(i) * ss
+		hi := lo + ss
+		switch {
+		case lo >= int64(len(data)):
+			shards[i] = make([]byte, ss)
+		case hi > int64(len(data)):
+			s := make([]byte, ss)
+			copy(s, data[lo:])
+			shards[i] = s
+		default:
+			shards[i] = data[lo:hi]
+		}
+	}
+	for i := 0; i < c.M; i++ {
+		p := make([]byte, ss)
+		row := c.parity[i]
+		for j := 0; j < c.K; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			mul := &rsMul[coef]
+			src := shards[j]
+			for b := range p {
+				p[b] ^= mul[src[b]]
+			}
+		}
+		shards[c.K+i] = p
+	}
+	return shards
+}
+
+// generatorRow returns row r (0 ≤ r < K+M) of the generator matrix.
+func (c *RSCode) generatorRow(r int) []byte {
+	row := make([]byte, c.K)
+	if r < c.K {
+		row[r] = 1
+	} else {
+		copy(row, c.parity[r-c.K])
+	}
+	return row
+}
+
+// Reconstruct fills in the nil entries of shards in place. shards must
+// have K+M entries; non-nil entries must all share one length and hold
+// the shard for their index. At least K entries must be present. On
+// return every entry is non-nil and byte-identical to what Encode
+// produced.
+func (c *RSCode) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.K+c.M {
+		return fmt.Errorf("chunk: RS reconstruct wants %d shards, got %d", c.K+c.M, len(shards))
+	}
+	have := make([]int, 0, c.K)
+	ss := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if ss == -1 {
+			ss = len(s)
+		} else if len(s) != ss {
+			return fmt.Errorf("chunk: RS shard %d has %d bytes, want %d", i, len(s), ss)
+		}
+		if len(have) < c.K {
+			have = append(have, i)
+		}
+	}
+	if len(have) < c.K {
+		return fmt.Errorf("chunk: RS reconstruct needs %d shards, only %d present", c.K, len(have))
+	}
+	dataMissing := false
+	for i := 0; i < c.K; i++ {
+		if shards[i] == nil {
+			dataMissing = true
+			break
+		}
+	}
+	if dataMissing {
+		// Solve for the data shards: the k present shards relate to
+		// them by the k×k submatrix of generator rows, which the
+		// Cauchy construction guarantees invertible.
+		mat := make([][]byte, c.K)
+		for r, idx := range have {
+			mat[r] = c.generatorRow(idx)
+		}
+		inv, err := gfInvertMatrix(mat)
+		if err != nil {
+			return err
+		}
+		data := make([][]byte, c.K)
+		for i := 0; i < c.K; i++ {
+			if shards[i] != nil {
+				data[i] = shards[i]
+				continue
+			}
+			out := make([]byte, ss)
+			for r, idx := range have {
+				coef := inv[i][r]
+				if coef == 0 {
+					continue
+				}
+				mul := &rsMul[coef]
+				src := shards[idx]
+				for b := 0; b < ss; b++ {
+					out[b] ^= mul[src[b]]
+				}
+			}
+			data[i] = out
+		}
+		for i := 0; i < c.K; i++ {
+			shards[i] = data[i]
+		}
+	}
+	// With all data shards in hand, missing parity is a re-encode.
+	for i := 0; i < c.M; i++ {
+		if shards[c.K+i] != nil {
+			continue
+		}
+		p := make([]byte, ss)
+		row := c.parity[i]
+		for j := 0; j < c.K; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			mul := &rsMul[coef]
+			src := shards[j]
+			for b := 0; b < ss; b++ {
+				p[b] ^= mul[src[b]]
+			}
+		}
+		shards[c.K+i] = p
+	}
+	return nil
+}
+
+// Join concatenates the K data shards and trims padding to size bytes
+// — the inverse of Encode for an original chunk of that size.
+func (c *RSCode) Join(shards [][]byte, size int64) []byte {
+	out := make([]byte, 0, size)
+	for i := 0; i < c.K && int64(len(out)) < size; i++ {
+		out = append(out, shards[i]...)
+	}
+	if int64(len(out)) > size {
+		out = out[:size]
+	}
+	return out
+}
+
+// gfInvertMatrix inverts a square matrix over GF(2^8) by Gauss-Jordan
+// elimination. The input is consumed.
+func gfInvertMatrix(mat [][]byte) ([][]byte, error) {
+	n := len(mat)
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if mat[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("chunk: RS submatrix singular at column %d", col)
+		}
+		mat[col], mat[pivot] = mat[pivot], mat[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := mat[col][col]; p != 1 {
+			pi := gfInv(p)
+			for j := 0; j < n; j++ {
+				mat[col][j] = gfMul(mat[col][j], pi)
+				inv[col][j] = gfMul(inv[col][j], pi)
+			}
+		}
+		for r := 0; r < n; r++ {
+			if r == col || mat[r][col] == 0 {
+				continue
+			}
+			f := mat[r][col]
+			for j := 0; j < n; j++ {
+				mat[r][j] ^= gfMul(f, mat[col][j])
+				inv[r][j] ^= gfMul(f, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}

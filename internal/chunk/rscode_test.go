@@ -1,0 +1,102 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestRSCodeParams(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {200, 60}} {
+		if _, err := NewRSCode(bad[0], bad[1]); err == nil {
+			t.Errorf("NewRSCode(%d,%d): want error", bad[0], bad[1])
+		}
+	}
+	if _, err := NewRSCode(4, 2); err != nil {
+		t.Fatalf("NewRSCode(4,2): %v", err)
+	}
+	if _, err := NewRSCode(200, 56); err != nil {
+		t.Fatalf("NewRSCode(200,56): %v", err)
+	}
+}
+
+func TestRSCodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, km := range [][2]int{{1, 1}, {2, 1}, {4, 2}, {6, 3}, {10, 4}} {
+		c, err := NewRSCode(km[0], km[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{1, 7, 64, 1000, 4096, 65537} {
+			data := make([]byte, size)
+			rng.Read(data)
+			shards := c.Encode(data)
+			if len(shards) != c.K+c.M {
+				t.Fatalf("%d+%d size %d: %d shards", c.K, c.M, size, len(shards))
+			}
+			ss := c.ShardSize(int64(size))
+			for i, s := range shards {
+				if int64(len(s)) != ss {
+					t.Fatalf("%d+%d size %d: shard %d has %d bytes, want %d", c.K, c.M, size, i, len(s), ss)
+				}
+			}
+			if got := c.Join(shards, int64(size)); !bytes.Equal(got, data) {
+				t.Fatalf("%d+%d size %d: join mismatch with no losses", c.K, c.M, size)
+			}
+		}
+	}
+}
+
+// Every loss pattern of up to m shards must reconstruct byte-identical
+// shards — data and parity alike.
+func TestRSCodeAllLossPatterns(t *testing.T) {
+	c, err := NewRSCode(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 10000)
+	rng.Read(data)
+	want := c.Encode(data)
+	n := c.K + c.M
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ { // a==b covers single losses
+			shards := make([][]byte, n)
+			for i := range shards {
+				if i == a || i == b {
+					continue
+				}
+				shards[i] = append([]byte(nil), want[i]...)
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("lose {%d,%d}: %v", a, b, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], want[i]) {
+					t.Fatalf("lose {%d,%d}: shard %d differs after reconstruct", a, b, i)
+				}
+			}
+			if got := c.Join(shards, int64(len(data))); !bytes.Equal(got, data) {
+				t.Fatalf("lose {%d,%d}: joined data differs", a, b)
+			}
+		}
+	}
+}
+
+func TestRSCodeTooFewShards(t *testing.T) {
+	c, _ := NewRSCode(4, 2)
+	shards := c.Encode(bytes.Repeat([]byte{0xAB}, 512))
+	shards[0], shards[2], shards[5] = nil, nil, nil
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct with k-1 shards: want error")
+	}
+}
+
+func TestRSCodeShardLengthMismatch(t *testing.T) {
+	c, _ := NewRSCode(4, 2)
+	shards := c.Encode(bytes.Repeat([]byte{1}, 512))
+	shards[3] = shards[3][:10]
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct with ragged shards: want error")
+	}
+}

@@ -48,10 +48,19 @@ type Env struct {
 	// one whole domain never loses a published byte. 0 or 1 keeps the
 	// flat single-domain pool of earlier PRs.
 	Domains int
-	// WriteQuorum is how many of the R copies must land for a write to
-	// commit. 0 selects the default of R-1 (minimum 1), which lets a
-	// write survive the mid-flight loss of one provider.
+	// WriteQuorum is how many of the R copies (or, with Coding, the
+	// k+m fragments) must land for a write to commit. 0 selects the
+	// default of R-1 (minimum 1) — with Coding, k+m-1 (minimum k) —
+	// which lets a write survive the mid-flight loss of one provider.
 	WriteQuorum int
+	// Coding selects erasure-coded chunk placement instead of R-way
+	// replication: "rs-k+m" (e.g. "rs-4+2") stripes every chunk into k
+	// data + m parity fragments on k+m distinct providers, surviving
+	// any m fragment losses at a storage overhead of (k+m)/k instead
+	// of R. Mutually exclusive with Replicas > 1; requires k+m <=
+	// Providers. Empty keeps replication. Boot-time only — a pool
+	// written under one mode must not be reopened under the other.
+	Coding string
 
 	// SelfHeal enables the autonomous repair loop: an error-driven
 	// provider HealthMonitor wired into the router plus a core.Healer
@@ -181,7 +190,19 @@ func (e Env) Validate() error {
 	if e.Domains > e.Providers {
 		return fmt.Errorf("cluster: %d domains exceed %d providers", e.Domains, e.Providers)
 	}
-	if r := max(e.Replicas, 1); e.WriteQuorum > r {
+	if k, m, err := provider.ParseCoding(e.Coding); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	} else if e.Coding != "" {
+		if e.Replicas > 1 {
+			return fmt.Errorf("cluster: coding %q is mutually exclusive with %d replicas", e.Coding, e.Replicas)
+		}
+		if k+m > e.Providers {
+			return fmt.Errorf("cluster: coding %q needs %d providers, have %d", e.Coding, k+m, e.Providers)
+		}
+		if e.WriteQuorum != 0 && (e.WriteQuorum < k || e.WriteQuorum > k+m) {
+			return fmt.Errorf("cluster: write quorum %d outside [%d, %d] for coding %q", e.WriteQuorum, k, k+m, e.Coding)
+		}
+	} else if r := max(e.Replicas, 1); e.WriteQuorum > r {
 		return fmt.Errorf("cluster: write quorum %d exceeds %d replicas", e.WriteQuorum, r)
 	}
 	if e.VMShards < 0 {
@@ -242,6 +263,12 @@ func NewVersioning(env Env) (*Versioning, error) {
 	router := provider.NewRouter(mgr)
 	router.SetMetrics(reg)
 	router.SetReplicas(env.Replicas)
+	if env.Coding != "" {
+		k, m, _ := provider.ParseCoding(env.Coding) // Validate already vetted it
+		if err := router.SetCoding(k, m); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
 	router.SetWriteQuorum(env.WriteQuorum)
 	if env.LocalDomain != "" {
 		router.SetLocalDomain(env.LocalDomain)

@@ -785,10 +785,17 @@ type placement struct {
 type Router struct {
 	*Manager
 	place    placement
-	cfg      sync.RWMutex // guards replicas/quorum/health/onDegraded/locality/cache
+	cfg      sync.RWMutex // guards replicas/quorum/coding/health/onDegraded/locality/cache
 	replicas int          // copies per chunk; 0 or 1 means no replication
 	quorum   int          // copies that must land for Put to succeed; 0 = replicas-1 (min 1)
 	rdNext   atomic.Uint64
+
+	// codeK/codeM/code select erasure-coded placement (see coded.go);
+	// nil code means the router replicates. maxChunk bounds declared
+	// streamed-put sizes (see stream.go); 0 means the default.
+	codeK, codeM int
+	code         *chunk.RSCode
+	maxChunk     int64
 
 	// localDomain is the failure domain this router's reads originate
 	// from; preferLocal orders same-domain replicas first (see
@@ -1035,17 +1042,24 @@ func (r *Router) SetWriteQuorum(q int) {
 }
 
 // WriteQuorum returns the effective write quorum for the current
-// replication degree.
+// placement degree. In coded mode the degree is k+m fragments and the
+// quorum floor is k — committing with fewer would publish unreadable
+// data — with the same default of degree-1 (one mid-flight provider
+// loss tolerated).
 func (r *Router) WriteQuorum() int {
-	n := r.Replicas()
 	r.cfg.RLock()
-	q := r.quorum
+	q, k, coded := r.quorum, r.codeK, r.code != nil
 	r.cfg.RUnlock()
+	n := r.degree()
+	floor := 1
+	if coded {
+		floor = k
+	}
 	if q == 0 {
 		q = n - 1
 	}
-	if q < 1 {
-		q = 1
+	if q < floor {
+		q = floor
 	}
 	if q > n {
 		q = n
@@ -1077,6 +1091,9 @@ func (r *Router) Put(key chunk.Key, data []byte) ([]ID, error) {
 }
 
 func (r *Router) put(key chunk.Key, data []byte) ([]ID, error) {
+	if code := r.codeState(); code != nil {
+		return r.putCoded(code, key, data)
+	}
 	want := r.Replicas()
 	quorum := r.WriteQuorum()
 	targets, err := r.AllocateN(want)
@@ -1150,6 +1167,9 @@ func (r *Router) putOne(p *Provider, key chunk.Key, data []byte) error {
 // all copies (same-domain replicas first when a local domain is set).
 // A read that needed failover feeds read-repair via maybeNoteDegraded.
 func (r *Router) Get(key chunk.Key, off, length int64) ([]byte, error) {
+	if code := r.codeState(); code != nil {
+		return r.getCoded(code, key, off, length)
+	}
 	cache := r.ReadCache()
 	if cache != nil {
 		if data, ok := cache.GetData(key, off, length); ok {
@@ -1188,6 +1208,9 @@ func (r *Router) Get(key chunk.Key, off, length int64) ([]byte, error) {
 // records a different set — and the caller should replace it (blob
 // caches it so later reads of the same chunk skip the dead copies).
 func (r *Router) GetFrom(replicas []ID, key chunk.Key, off, length int64) (data []byte, fresh []ID, err error) {
+	if code := r.codeState(); code != nil {
+		return r.getFromCoded(code, replicas, key, off, length)
+	}
 	cache := r.ReadCache()
 	if cache != nil {
 		if data, ok := cache.GetData(key, off, length); ok {
@@ -1482,34 +1505,36 @@ func (r *Router) liveReplicas(key chunk.Key, ids []ID, verify, report bool) (liv
 	return live
 }
 
-// ReplicaHealth reports how many of a chunk's recorded replicas are
-// live (by down flags alone) against the configured degree.
+// ReplicaHealth reports how many of a chunk's recorded replicas (or
+// coded fragments) are live (by down flags alone) against the
+// configured placement degree.
 func (r *Router) ReplicaHealth(key chunk.Key) (live, want int, known bool) {
 	ids, ok := r.Locate(key)
 	if !ok {
-		return 0, r.Replicas(), false
+		return 0, r.degree(), false
 	}
-	return len(r.liveReplicas(key, ids, false, false)), r.Replicas(), true
+	return len(r.liveReplicas(key, ids, false, false)), r.degree(), true
 }
 
 // VerifyReplicas is the scrubber's per-chunk check: it probes every
-// recorded replica's store (reporting outcomes to the health monitor)
-// and returns the verified-live count against the replication degree.
+// recorded replica's (or fragment's) store — reporting outcomes to the
+// health monitor — and returns the verified-live count against the
+// placement degree.
 func (r *Router) VerifyReplicas(key chunk.Key) (live, want int, known bool) {
 	ids, ok := r.Locate(key)
 	if !ok {
-		return 0, r.Replicas(), false
+		return 0, r.degree(), false
 	}
-	return len(r.liveReplicas(key, ids, true, true)), r.Replicas(), true
+	return len(r.liveReplicas(key, ids, true, true)), r.degree(), true
 }
 
 // UnderReplicated counts placement entries whose verified-live replica
-// count is below the replication degree — the healer's convergence
-// metric: zero means every known chunk is back at full degree. It is
-// a passive observer: its probes do NOT feed the health monitor, so
-// asserting convergence never doubles as failure detection.
+// (or fragment) count is below the placement degree — the healer's
+// convergence metric: zero means every known chunk is back at full
+// degree. It is a passive observer: its probes do NOT feed the health
+// monitor, so asserting convergence never doubles as failure detection.
 func (r *Router) UnderReplicated() int {
-	want := r.Replicas()
+	want := r.degree()
 	n := 0
 	for _, key := range r.Keys() {
 		ids, ok := r.Locate(key)
@@ -1589,6 +1614,9 @@ func (r *Router) repairChunk(key chunk.Key) (outcome RepairOutcome, copied int, 
 		return RepairHealthy, 0, nil
 	}
 	defer r.releaseKey(key)
+	if code := r.codeState(); code != nil {
+		return r.repairCoded(code, key)
+	}
 	want := r.Replicas()
 	ids, ok := r.Locate(key)
 	if !ok {
@@ -1767,7 +1795,7 @@ func (r *Router) spreadViolatedIn(ids []ID, liveDoms int) bool {
 		n++
 		covered[p.Domain()] = true
 	}
-	achievable := r.Replicas()
+	achievable := r.degree()
 	if n < achievable {
 		achievable = n
 	}
@@ -1821,7 +1849,7 @@ func (r *Router) PlacementSuspect(key chunk.Key, liveDomains int) bool {
 	if !ok {
 		return false
 	}
-	if len(ids) != r.Replicas() {
+	if len(ids) != r.degree() {
 		return true
 	}
 	return r.spreadViolatedIn(ids, liveDomains)

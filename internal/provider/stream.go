@@ -1,6 +1,7 @@
 package provider
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -15,16 +16,69 @@ import (
 // reporting and degraded-read accounting are shared with the buffered
 // Put/Get paths; only the payload transport differs.
 
+// DefaultMaxChunkSize bounds the declared size of a streamed chunk put
+// when SetMaxChunkSize was never called. Generous — chunks are
+// normally a few MiB — while still refusing the pathological sizes a
+// corrupt or hostile wire header can declare.
+const DefaultMaxChunkSize = 1 << 30
+
+// ErrChunkTooLarge is the sentinel matched (via errors.Is) by
+// ChunkTooLargeError.
+var ErrChunkTooLarge = errors.New("provider: chunk exceeds max chunk size")
+
+// ChunkTooLargeError rejects a streamed put whose declared size is
+// negative or exceeds the configured bound. The check runs before ANY
+// buffer allocation: the replicated and coded PutStream paths
+// materialize the payload into a size-sized buffer, and the size comes
+// straight from the wire header — an unchecked value would let one
+// corrupt frame force an arbitrary allocation.
+type ChunkTooLargeError struct {
+	Size int64 // declared payload size
+	Max  int64 // configured bound
+}
+
+// Error implements error.
+func (e *ChunkTooLargeError) Error() string {
+	return fmt.Sprintf("provider: declared chunk size %d exceeds max chunk size %d", e.Size, e.Max)
+}
+
+// Is matches the ErrChunkTooLarge sentinel.
+func (e *ChunkTooLargeError) Is(target error) bool { return target == ErrChunkTooLarge }
+
+// SetMaxChunkSize bounds the declared size PutStream accepts; v <= 0
+// restores DefaultMaxChunkSize.
+func (r *Router) SetMaxChunkSize(v int64) {
+	r.cfg.Lock()
+	r.maxChunk = v
+	r.cfg.Unlock()
+}
+
+// MaxChunkSize returns the effective streamed-put size bound.
+func (r *Router) MaxChunkSize() int64 {
+	r.cfg.RLock()
+	defer r.cfg.RUnlock()
+	if r.maxChunk <= 0 {
+		return DefaultMaxChunkSize
+	}
+	return r.maxChunk
+}
+
 // PutStream stores a chunk whose payload arrives as a stream of
 // exactly size bytes. With R == 1 (the default) the stream is handed
 // straight to the provider's store — the zero-copy fast path the
-// framed transport exists for. With R > 1 the payload must be
-// materialized once anyway to fan out to R providers, so the stream is
-// buffered and delegated to the replicated Put path (quorum, health
-// and degraded accounting included). Callers must not retry a failed
-// PutStream with the same reader: the stream may be partially consumed.
+// framed transport exists for. With R > 1, and in coded mode, the
+// payload must be materialized once anyway to fan out to the targets,
+// so the stream is buffered and delegated to the replicated/coded Put
+// path (quorum, health and degraded accounting included). The declared
+// size is bounded by MaxChunkSize before anything is allocated; an
+// oversize or negative size fails with a typed *ChunkTooLargeError.
+// Callers must not retry a failed PutStream with the same reader: the
+// stream may be partially consumed.
 func (r *Router) PutStream(key chunk.Key, size int64, rd io.Reader) ([]ID, error) {
-	if r.Replicas() > 1 {
+	if max := r.MaxChunkSize(); size < 0 || size > max {
+		return nil, &ChunkTooLargeError{Size: size, Max: max}
+	}
+	if _, _, coded := r.Coding(); coded || r.Replicas() > 1 {
 		buf := make([]byte, size)
 		if _, err := io.ReadFull(rd, buf); err != nil {
 			return nil, fmt.Errorf("provider: stream %s: %w", key, err)
@@ -68,6 +122,9 @@ func (r *Router) PutStream(key chunk.Key, size int64, rd io.Reader) ([]ID, error
 // already have left for the consumer. The read cache is bypassed —
 // streaming reads exist for payloads too large to cache.
 func (r *Router) OpenReader(key chunk.Key, off, length int64) (io.ReadCloser, error) {
+	if code := r.codeState(); code != nil {
+		return r.openCoded(code, key, off, length)
+	}
 	ids, ok := r.Locate(key)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", chunk.ErrNotFound, key)
@@ -88,6 +145,9 @@ func (r *Router) OpenReader(key chunk.Key, off, length int64) (io.ReadCloser, er
 // fresh return means the hint is stale and the caller should replace
 // it.
 func (r *Router) OpenFrom(replicas []ID, key chunk.Key, off, length int64) (rc io.ReadCloser, fresh []ID, err error) {
+	if code := r.codeState(); code != nil {
+		return r.openFromCoded(code, replicas, key, off, length)
+	}
 	if len(replicas) > 0 {
 		rc, skips, storeErrs, err := r.openFromSet(replicas, key, off, length)
 		if err == nil {

@@ -302,6 +302,20 @@ func (s *framedServer) serve(conn net.Conn, br *bufio.Reader) {
 
 func (s *framedServer) servePut(br *bufio.Reader, bw *bufio.Writer, h frameHeader) error {
 	body := &frameBodyReader{r: br, frames: s.frames, bytes: s.bytes}
+	if max := s.r.MaxChunkSize(); h.length < 0 || h.length > max {
+		// The declared size comes straight off the wire; reject it here
+		// before the router can act on it (PutStream checks again, but
+		// the server must not trust the router to be its input filter).
+		// The body still drains so the connection stays aligned.
+		err := error(&provider.ChunkTooLargeError{Size: h.length, Max: max})
+		if derr := body.drain(); derr != nil {
+			return derr
+		}
+		if werr := bw.WriteByte(1); werr != nil {
+			return werr
+		}
+		return writeErrString(bw, err)
+	}
 	ids, err := s.r.PutStream(h.key, h.length, body)
 	// Whatever happened, the body must be consumed to keep the
 	// connection aligned on the next header. A short store error (say
@@ -407,25 +421,79 @@ func newFramedPool(addr string) *framedPool {
 	return &framedPool{addr: addr, maxIdle: 64}
 }
 
-func (p *framedPool) acquire() (*framedConn, error) {
+// acquire hands out an idle connection when one exists (pooled=true)
+// or dials a fresh one. Idle connections are never validated here —
+// only their first use can prove them dead — so op-level callers go
+// through withConn, which retries once on a fresh dial when a POOLED
+// connection fails.
+func (p *framedPool) acquire() (fc *framedConn, pooled bool, err error) {
 	p.mu.Lock()
 	if n := len(p.idle); n > 0 {
 		fc := p.idle[n-1]
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
-		return fc, nil
+		return fc, true, nil
 	}
 	p.mu.Unlock()
 	c, err := net.Dial("tcp", p.addr)
 	if err != nil {
-		return nil, fmt.Errorf("remote: dial framed %s: %w", p.addr, err)
+		return nil, false, fmt.Errorf("remote: dial framed %s: %w", p.addr, err)
 	}
-	fc := &framedConn{c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 64<<10)}
+	fc = &framedConn{c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 64<<10)}
 	if _, err := fc.bw.WriteString(framedMagic); err != nil {
 		c.Close()
-		return nil, err
+		return nil, false, err
 	}
-	return fc, nil
+	return fc, false, nil
+}
+
+// flushIdle closes every idle connection. Called after a pooled
+// connection turned out dead: the usual cause is a data-node restart,
+// which killed every socket the pool is holding — keeping them would
+// make the next maxIdle ops each pay the same discover-retry cycle.
+func (p *framedPool) flushIdle() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, fc := range idle {
+		fc.c.Close()
+	}
+}
+
+// withConn runs one framed op on a pool connection. A fatal
+// (transport-level) failure on a POOLED connection is indistinguishable
+// from a stale socket left by a peer restart, so the op retries once on
+// a freshly dialed connection after flushing the rest of the idle list;
+// a failure on a fresh dial is a real peer problem and surfaces as-is.
+// Retried puts are safe: the chunk store is immutable, so the worst a
+// half-delivered first attempt yields is chunk.ErrExists on the retry.
+func (p *framedPool) withConn(op func(fc *framedConn) (err error, fatal bool)) error {
+	fc, pooled, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	err, fatal := op(fc)
+	if !fatal {
+		p.release(fc)
+		return err
+	}
+	fc.c.Close()
+	if !pooled {
+		return err
+	}
+	p.flushIdle()
+	fc, _, derr := p.acquire()
+	if derr != nil {
+		return derr
+	}
+	err, fatal = op(fc)
+	if fatal {
+		fc.c.Close()
+	} else {
+		p.release(fc)
+	}
+	return err
 }
 
 // release returns a healthy connection to the pool.
@@ -451,18 +519,15 @@ func (p *framedPool) close() {
 }
 
 // put performs one framed chunk store. A transport error closes the
-// connection; a server-reported error keeps it pooled.
-func (p *framedPool) put(key chunk.Key, data []byte) ([]provider.ID, error) {
-	fc, err := p.acquire()
-	if err != nil {
-		return nil, err
-	}
-	ids, err, fatal := fc.put(key, data)
-	if fatal {
-		fc.c.Close()
-	} else {
-		p.release(fc)
-	}
+// connection (retrying once on a fresh dial if it was pooled — see
+// withConn); a server-reported error keeps it pooled.
+func (p *framedPool) put(key chunk.Key, data []byte) (ids []provider.ID, err error) {
+	err = p.withConn(func(fc *framedConn) (error, bool) {
+		var oerr error
+		var fatal bool
+		ids, oerr, fatal = fc.put(key, data)
+		return oerr, fatal
+	})
 	return ids, err
 }
 
@@ -513,17 +578,15 @@ func (fc *framedConn) put(key chunk.Key, data []byte) (ids []provider.ID, err er
 
 // get performs one framed chunk read with an optional replica hint,
 // returning the data and — when the hint was stale — the fresh set.
-func (p *framedPool) get(replicas []provider.ID, key chunk.Key, off, length int64) ([]byte, []provider.ID, error) {
-	fc, err := p.acquire()
-	if err != nil {
-		return nil, nil, err
-	}
-	data, fresh, err, fatal := fc.get(replicas, key, off, length)
-	if fatal {
-		fc.c.Close()
-	} else {
-		p.release(fc)
-	}
+// Reads are idempotent, so the stale-pooled-connection retry in
+// withConn is unconditionally safe here.
+func (p *framedPool) get(replicas []provider.ID, key chunk.Key, off, length int64) (data []byte, fresh []provider.ID, err error) {
+	err = p.withConn(func(fc *framedConn) (error, bool) {
+		var oerr error
+		var fatal bool
+		data, fresh, oerr, fatal = fc.get(replicas, key, off, length)
+		return oerr, fatal
+	})
 	return data, fresh, err
 }
 

@@ -1,9 +1,13 @@
 package remote
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
+	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
@@ -179,6 +183,200 @@ func TestFramedMetrics(t *testing.T) {
 	want := int64(2 * (maxFrame + 1000))
 	if !strings.Contains(text, "bs_data_stream_bytes_total "+itoa(want)) {
 		t.Fatalf("want %d stream bytes, got:\n%s", want, text)
+	}
+}
+
+// TestFramedPoolSurvivesNodeRestart is the regression test for the
+// never-validated connection pool: after a data-node restart every
+// pooled socket is dead, and the first op on each used to surface a
+// transport error to the caller. The pool must instead detect the
+// stale socket, flush its idle list, and transparently retry the op on
+// a fresh dial.
+func TestFramedPoolSurvivesNodeRestart(t *testing.T) {
+	mgr, _ := provider.NewPool(1, iosim.CostModel{})
+	roles := Roles{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: provider.NewRouter(mgr),
+	}
+	node, err := Listen("127.0.0.1:0", roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := node.Addr()
+	ep := Endpoints{VM: addr, Meta: addr, Data: addr}
+	c := dialFramedClient(t, ep)
+
+	key1 := chunk.Key{Blob: 1, Version: 1, Index: 0}
+	data := bytes.Repeat([]byte("durable"), 1000)
+	if _, err := c.Put(key1, data); err != nil {
+		t.Fatal(err)
+	}
+	// The put's connection is now idle in the pool. Restart the node on
+	// the same address with the same stores — the pooled socket is dead.
+	node.Close()
+	node2, err := listenRetry(addr, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+
+	key2 := chunk.Key{Blob: 1, Version: 1, Index: 1}
+	if _, err := c.Put(key2, data); err != nil {
+		t.Fatalf("put after node restart: %v", err)
+	}
+	got, err := c.Get(key1, 0, int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get after node restart: %v", err)
+	}
+	// Reads retry too, and repeated ops keep working (the flushed pool
+	// refilled with live connections).
+	for i := 0; i < 4; i++ {
+		if _, err := c.Get(key2, 0, int64(len(data))); err != nil {
+			t.Fatalf("get %d after restart: %v", i, err)
+		}
+	}
+	// A genuinely dead peer still fails: kill the node for good and the
+	// fresh-dial retry must surface the dial error, not loop.
+	node2.Close()
+	if _, err := c.Put(chunk.Key{Blob: 1, Version: 1, Index: 2}, data); err == nil {
+		t.Fatal("put against a dead node must fail")
+	}
+}
+
+// listenRetry re-binds an exact address, retrying briefly while the
+// kernel releases the old listener's port.
+func listenRetry(addr string, roles Roles) (node *Node, err error) {
+	for i := 0; i < 100; i++ {
+		if node, err = Listen(addr, roles); err == nil {
+			return node, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// TestFramedServerRejectsOversizedPut speaks the raw wire protocol and
+// forges a put header declaring a 2 GiB payload: the server must answer
+// with the typed size-bound error — BEFORE the router sees the request,
+// and without desyncing the connection.
+func TestFramedServerRejectsOversizedPut(t *testing.T) {
+	_, ep := startNode(t)
+	conn, err := net.Dial("tcp", ep.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	if _, err := conn.Write([]byte(framedMagic)); err != nil {
+		t.Fatal(err)
+	}
+
+	forge := func(length int64, body []byte) {
+		t.Helper()
+		hdr := make([]byte, frameHeaderLen)
+		hdr[0] = opPut
+		binary.LittleEndian.PutUint64(hdr[8:], 42) // blob
+		binary.LittleEndian.PutUint64(hdr[32:], uint64(length))
+		if _, err := conn.Write(hdr); err != nil {
+			t.Fatal(err)
+		}
+		if len(body) > 0 {
+			var word [4]byte
+			binary.LittleEndian.PutUint32(word[:], uint32(len(body)))
+			conn.Write(word[:])
+			conn.Write(body)
+		}
+		conn.Write([]byte{0, 0, 0, 0}) // terminator
+	}
+
+	forge(1<<31, nil)
+	status, err := br.ReadByte()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 1 {
+		t.Fatalf("oversized put status = %d, want error status 1", status)
+	}
+	msg, err := readErrString(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "max chunk size") {
+		t.Fatalf("oversized put error = %q, want the size-bound error", msg)
+	}
+
+	// The rejection drained the body: the same connection still serves
+	// a well-formed put.
+	forge(5, []byte("hello"))
+	if status, err = br.ReadByte(); err != nil || status != 0 {
+		t.Fatalf("put after rejection: status %d, %v", status, err)
+	}
+	if ids, err := readIDs(br); err != nil || len(ids) == 0 {
+		t.Fatalf("put after rejection: ids %v, %v", ids, err)
+	}
+}
+
+// TestFramedCodedRoundTrip drives the framed wire against a router in
+// rs-4+2 mode: fragments place over the wire-invisible coded path, and
+// the Coding RPC reports the mode to operators.
+func TestFramedCodedRoundTrip(t *testing.T) {
+	mgr, _ := provider.NewPool(6, iosim.CostModel{})
+	r := provider.NewRouter(mgr)
+	if err := r.SetCoding(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	node, err := Listen("127.0.0.1:0", Roles{
+		VM:   vmanager.New(iosim.CostModel{}),
+		Meta: metadata.NewStore(2, iosim.CostModel{}),
+		Data: r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	ep := Endpoints{VM: node.Addr(), Meta: node.Addr(), Data: node.Addr()}
+	c := dialFramedClient(t, ep)
+
+	key := chunk.Key{Blob: 5, Version: 1, Index: 0}
+	data := make([]byte, maxFrame+12345)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	ids, err := c.Put(key, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 6 {
+		t.Fatalf("coded put returned %d fragment positions, want 6", len(ids))
+	}
+	got, err := c.Get(key, 0, int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("coded framed Get: %v", err)
+	}
+	// Hinted read: the positional hint matches placement, so no refresh.
+	part, fresh, err := c.GetFrom(ids, key, 100, 5000)
+	if err != nil || !bytes.Equal(part, data[100:5100]) {
+		t.Fatalf("coded framed GetFrom: %v", err)
+	}
+	if fresh != nil {
+		t.Fatalf("fresh set on an up-to-date coded hint: %v", fresh)
+	}
+	rep, err := c.Coding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Coded || rep.K != 4 || rep.M != 2 || rep.Quorum != 5 {
+		t.Fatalf("Coding RPC = %+v", rep)
+	}
+	// An oversized put travels the framed client path as a server-side
+	// error that keeps the connection pooled.
+	r.SetMaxChunkSize(1024)
+	if _, err := c.Put(chunk.Key{Blob: 6}, make([]byte, 4096)); err == nil || !strings.Contains(err.Error(), "max chunk size") {
+		t.Fatalf("oversized framed put = %v, want size-bound error", err)
+	}
+	if _, err := c.Get(key, 0, 10); err != nil {
+		t.Fatalf("get after oversized put: %v", err)
 	}
 }
 

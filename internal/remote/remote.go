@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/rpc"
 	"strings"
+	"sync"
 
 	"repro/internal/blob"
 	"repro/internal/chunk"
@@ -432,6 +433,29 @@ func (s *DataServer) Scrub(a *ScrubArgs, reply *core.HealerStats) error {
 	return nil
 }
 
+// CodingArgs selects the placement-mode report.
+type CodingArgs struct{}
+
+// CodingReply reports the node's chunk placement mode: erasure coding
+// (K data + M parity fragments) when Coded, R-way replication
+// otherwise.
+type CodingReply struct {
+	Coded    bool
+	K, M     int
+	Replicas int
+	Quorum   int
+}
+
+// Coding RPC: the data node's placement mode (bsctl health shows it so
+// operators know what durability the pool promises).
+func (s *DataServer) Coding(_ *CodingArgs, reply *CodingReply) error {
+	k, m, on := s.R.Coding()
+	reply.Coded, reply.K, reply.M = on, k, m
+	reply.Replicas = s.R.Replicas()
+	reply.Quorum = s.R.WriteQuorum()
+	return nil
+}
+
 // UsageArgs selects the space-accounting snapshot.
 type UsageArgs struct{}
 
@@ -539,6 +563,13 @@ type Node struct {
 	srv *rpc.Server
 	reg *metrics.Registry // nil when the node has no metrics role
 	fr  *framedServer     // nil unless the node hosts the data role
+
+	// conns tracks accepted connections so Close terminates them along
+	// with the listener — a closed Node behaves like a dead process,
+	// which is what clients (and their connection pools) must handle.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
 }
 
 // Listen starts serving the given roles on addr (e.g. "127.0.0.1:0").
@@ -571,7 +602,7 @@ func Listen(addr string, roles Roles) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
 	}
-	n := &Node{lis: lis, srv: srv, reg: roles.Metrics}
+	n := &Node{lis: lis, srv: srv, reg: roles.Metrics, conns: make(map[net.Conn]struct{})}
 	if roles.Data != nil {
 		n.fr = newFramedServer(roles.Data, roles.Metrics)
 	}
@@ -594,6 +625,19 @@ func (n *Node) acceptLoop() {
 // everything else is a gob RPC client. The peek happens off the accept
 // loop because it blocks until the client's first write.
 func (n *Node) handleConn(conn net.Conn) {
+	n.connMu.Lock()
+	if n.closed {
+		n.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	n.conns[conn] = struct{}{}
+	n.connMu.Unlock()
+	defer func() {
+		n.connMu.Lock()
+		delete(n.conns, conn)
+		n.connMu.Unlock()
+	}()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	head, err := br.Peek(len(framedMagic))
 	if err != nil {
@@ -692,8 +736,23 @@ func (c *countingServerCodec) Close() error {
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.lis.Addr().String() }
 
-// Close stops the node.
-func (n *Node) Close() error { return n.lis.Close() }
+// Close stops the node: the listener stops accepting and every served
+// connection is torn down, so a closed Node is indistinguishable from
+// a killed process to its clients.
+func (n *Node) Close() error {
+	err := n.lis.Close()
+	n.connMu.Lock()
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
 
 // --- Client ---
 
@@ -965,6 +1024,14 @@ func (c *Client) Scrub(sync bool) (core.HealerStats, error) {
 }
 
 // Usage returns the data node's per-provider space accounting.
+// Coding reports the data node's chunk placement mode (erasure coding
+// vs replication) and effective write quorum.
+func (c *Client) Coding() (CodingReply, error) {
+	var rep CodingReply
+	err := c.data.Call(dataService+".Coding", &CodingArgs{}, &rep)
+	return rep, err
+}
+
 func (c *Client) Usage() ([]provider.ProviderUsage, error) {
 	var us []provider.ProviderUsage
 	err := c.data.Call(dataService+".Usage", &UsageArgs{}, &us)

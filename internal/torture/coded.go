@@ -1,0 +1,302 @@
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mpiio"
+	"repro/internal/provider"
+	"repro/internal/verify"
+)
+
+// CodedConfig parameterizes the erasure-coded correlated-loss torture
+// run: the usual overlap-heavy workload on an rs-k+m deployment whose
+// fragments spread one-per-domain, except the seed-scheduled loss
+// takes out TWO whole failure domains — the first mid-workload (writes
+// must keep committing at quorum n-1), the second after the last write
+// but BEFORE any healing, so every read of every chunk faces exactly
+// two missing fragments and must reconstruct from the surviving k.
+// Both kills are store-level with self-heal on: nobody calls SetDown
+// or Repair, detection and re-encode repair must be autonomous.
+type CodedConfig struct {
+	CrashConfig
+	// Coding is the placement spec (default "rs-4+2"). Replicas must
+	// stay zero: the schedule exists for the coded mode.
+	Coding string
+	// Domains is the failure-domain count (must be >= k+m so the
+	// spread places at most one fragment of any chunk per domain, and
+	// the two-domain loss costs each chunk at most two fragments;
+	// default 6).
+	Domains int
+	// MaxTicks bounds the healer ticks allowed to re-encode every
+	// chunk back to full degree after the kills (default 400).
+	MaxTicks int
+}
+
+// CodedPlan is the seed-derived schedule: every provider of
+// FirstDomain dies after AfterCalls atomic writes, every provider of
+// SecondDomain dies once the workload drains — two distinct domains,
+// so the read path sees the worst survivable loss (m=2 fragments at
+// rs-4+2) before repair gets a tick.
+type CodedPlan struct {
+	FirstDomain   int
+	SecondDomain  int
+	AfterCalls    int
+	FirstVictims  []provider.ID
+	SecondVictims []provider.ID
+}
+
+// Plan derives the schedule from the seed, on its own stream so it is
+// independent of the call generator and the other schedule families.
+func (c CodedConfig) Plan() CodedPlan {
+	providers := c.Providers
+	if providers <= 0 {
+		providers = 12
+	}
+	domains := c.Domains
+	if domains <= 0 {
+		domains = 6
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x636f6465642d7631)) // "coded-v1"
+	total := c.Writers * c.CallsPerWriter
+	perm := rng.Perm(domains)
+	plan := CodedPlan{
+		FirstDomain:  perm[0],
+		SecondDomain: perm[1],
+		AfterCalls:   total/4 + rng.Intn(total/2+1),
+	}
+	first := fmt.Sprintf("zone%d", plan.FirstDomain)
+	second := fmt.Sprintf("zone%d", plan.SecondDomain)
+	for i := 0; i < providers; i++ {
+		switch provider.DomainLabel(i, providers, domains) {
+		case first:
+			plan.FirstVictims = append(plan.FirstVictims, provider.ID(i))
+		case second:
+			plan.SecondVictims = append(plan.SecondVictims, provider.ID(i))
+		}
+	}
+	return plan
+}
+
+// CodedReport summarizes one coded correlated-loss run.
+type CodedReport struct {
+	Plan        CodedPlan
+	FailedCalls int   // writes that failed (must be 0: quorum n-1 absorbs one dead domain)
+	Detected    int   // victims the monitor flagged down from errors alone
+	Ticks       int   // healer ticks to full degree AND achievable spread
+	Scrubbed    int   // versions read back in full after the heal
+	SpreadFound int64 // spread violations the scrubber fed into repair
+	Enqueued    int64 // chunks that entered the repair queue
+	Dropped     int64 // enqueues shed by the bounded queue
+}
+
+// codedEnv pins the same self-heal knobs as the domain schedule (see
+// domainEnv) on an erasure-coded deployment.
+func codedEnv(cfg CodedConfig) cluster.Env {
+	env := cluster.Default()
+	env.Providers = cfg.Providers
+	env.Replicas = 0
+	env.Coding = cfg.Coding
+	env.Domains = cfg.Domains
+	env.SelfHeal = true
+	env.FaultInjection = true
+	env.FailThreshold = 2
+	env.Probation = 30 * time.Second
+	env.ScrubRate = 32
+	env.RepairRate = 8
+	env.RepairQueue = 64
+	return env
+}
+
+// RunCodedDomain executes the two-domain-loss schedule on erasure-coded
+// placement. The contract it checks:
+//
+//   - Writes keep committing through the loss of a whole failure
+//     domain (one-fragment-per-domain placement means each chunk loses
+//     at most one of its k+m fragments; the default n-1 write quorum
+//     absorbs that), with zero failures, and the outcome stays
+//     serializable.
+//   - With a SECOND whole domain dead before any repair, every chunk
+//     is missing m=2 fragments — the worst survivable loss — and every
+//     read still returns byte-identical data by reconstructing from
+//     the surviving k fragments.
+//   - With NO operator action the monitor deduces every victim of both
+//     domains is down, and the healer re-encodes every chunk back to
+//     full k+m degree into the surviving domains within MaxTicks
+//     virtual-time ticks, leaving no fragment referenced in either
+//     dead domain and the spread audit clean.
+//   - Every published snapshot then scrubs clean.
+func RunCodedDomain(cfg CodedConfig) (CodedReport, error) {
+	if cfg.Replicas != 0 {
+		return CodedReport{}, fmt.Errorf("torture: RunCodedDomain is the coded schedule; Replicas must be 0, got %d", cfg.Replicas)
+	}
+	if cfg.Coding == "" {
+		cfg.Coding = "rs-4+2"
+	}
+	k, m, err := provider.ParseCoding(cfg.Coding)
+	if err != nil {
+		return CodedReport{}, fmt.Errorf("torture: %w", err)
+	}
+	if m < 2 {
+		return CodedReport{}, fmt.Errorf("torture: RunCodedDomain kills two domains; %s (m=%d) cannot survive it", cfg.Coding, m)
+	}
+	if cfg.Providers <= 0 {
+		cfg.Providers = 12
+	}
+	if cfg.Domains <= 0 {
+		cfg.Domains = 6
+	}
+	if cfg.Domains < k+m {
+		return CodedReport{}, fmt.Errorf("torture: RunCodedDomain needs Domains >= k+m (got %d < %d): a domain must never hold two fragments of one chunk",
+			cfg.Domains, k+m)
+	}
+	perDomain := cfg.Providers / cfg.Domains
+	if cfg.Providers-2*perDomain < k+m {
+		return CodedReport{}, fmt.Errorf("torture: %d providers minus two domains of %d leave fewer than %d for full-degree repair",
+			cfg.Providers, perDomain, k+m)
+	}
+	if cfg.MaxTicks <= 0 {
+		cfg.MaxTicks = 400
+	}
+	perWriter, err := cfg.Calls()
+	if err != nil {
+		return CodedReport{}, err
+	}
+	plan := cfg.Plan()
+	report := CodedReport{Plan: plan}
+
+	svc, err := cluster.NewVersioning(codedEnv(cfg))
+	if err != nil {
+		return report, err
+	}
+	be, err := svc.Backend(1, cfg.Span())
+	if err != nil {
+		return report, err
+	}
+	d := &mpiio.VersioningDriver{Backend: be}
+
+	// Virtual clock: one healer tick = one virtual second.
+	var vsec atomic.Int64
+	svc.Health.SetClock(func() time.Time { return time.Unix(vsec.Load(), 0) })
+	tick := func() {
+		vsec.Add(1)
+		svc.Healer.Tick()
+	}
+
+	// The workload, racing the first whole-domain store-level kill. No
+	// SetDown, no Repair — ever.
+	var completed atomic.Int64
+	var killOnce sync.Once
+	kill := func() {
+		killOnce.Do(func() {
+			for _, id := range plan.FirstVictims {
+				svc.Faults[id].SetDown(true)
+			}
+		})
+	}
+	var mu sync.Mutex
+	okCalls := make([]verify.Call, 0, cfg.Writers*cfg.CallsPerWriter)
+	var failures []error
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, call := range perWriter[w] {
+				vec, err := verify.MakeVec(call)
+				if err == nil {
+					err = d.WriteList(vec, true)
+				}
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, fmt.Errorf("call %d: %w", call.ID, err))
+				} else {
+					okCalls = append(okCalls, call)
+				}
+				mu.Unlock()
+				if int(completed.Add(1)) >= plan.AfterCalls {
+					kill()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	kill()
+
+	report.FailedCalls = len(failures)
+	if len(failures) > 0 {
+		return report, fmt.Errorf("torture(seed=%d): %s writes failed despite one-fragment-per-domain spread + n-1 quorum: %w",
+			cfg.Seed, cfg.Coding, errors.Join(failures...))
+	}
+
+	// Second domain dies before repair gets a tick: every chunk is now
+	// missing up to m fragments, and atomicity must survive on pure
+	// reconstruction — any k of the surviving fragments rebuild the
+	// exact original bytes.
+	for _, id := range plan.SecondVictims {
+		svc.Faults[id].SetDown(true)
+	}
+	if err := verify.CheckCalls(reader{d}, okCalls); err != nil {
+		return report, fmt.Errorf("torture(seed=%d): degraded reconstruction at m=%d losses: %w", cfg.Seed, m, err)
+	}
+
+	// Autonomous healing: converged means the repair queue is drained,
+	// every chunk is back at full k+m degree, AND the spread audit is
+	// clean against the surviving domains (fragments double up where
+	// the domain count no longer covers the degree — that is the
+	// audit's achievable bound, not a violation).
+	report.Ticks = -1
+	for t := 1; t <= cfg.MaxTicks; t++ {
+		tick()
+		if svc.Healer.QueueLen() == 0 && svc.Router.UnderReplicated() == 0 && len(svc.Router.SpreadAudit()) == 0 {
+			report.Ticks = t
+			break
+		}
+	}
+	if report.Ticks < 0 {
+		return report, fmt.Errorf("torture(seed=%d): %d under-replicated / %d spread-violated chunks remain after %d ticks (domains %d+%d = %v+%v): %+v",
+			cfg.Seed, svc.Router.UnderReplicated(), len(svc.Router.SpreadAudit()), cfg.MaxTicks,
+			plan.FirstDomain, plan.SecondDomain, plan.FirstVictims, plan.SecondVictims, svc.Healer.Stats())
+	}
+	victims := append(append([]provider.ID(nil), plan.FirstVictims...), plan.SecondVictims...)
+	for _, id := range victims {
+		if svc.Health.State(id) == provider.Down {
+			report.Detected++
+		}
+	}
+	if report.Detected != len(victims) {
+		return report, fmt.Errorf("torture(seed=%d): only %d of %d domain victims detected down: %v",
+			cfg.Seed, report.Detected, len(victims), victims)
+	}
+	// No fragment may remain referenced in either dead domain: its
+	// stores are gone, so a reference there is a latent degraded read.
+	dead := map[string]bool{
+		fmt.Sprintf("zone%d", plan.FirstDomain):  true,
+		fmt.Sprintf("zone%d", plan.SecondDomain): true,
+	}
+	for _, key := range svc.Router.Keys() {
+		ids, _ := svc.Router.Locate(key)
+		for _, id := range ids {
+			if dead[svc.Providers.DomainOf(id)] {
+				return report, fmt.Errorf("torture(seed=%d): chunk %s still placed in dead domain %s: %v",
+					cfg.Seed, key, svc.Providers.DomainOf(id), ids)
+			}
+		}
+	}
+	n, err := be.Scrub()
+	report.Scrubbed = n
+	if err != nil {
+		return report, fmt.Errorf("torture(seed=%d): snapshot unreadable after coded domain loss healed: %w", cfg.Seed, err)
+	}
+
+	st := svc.Healer.Stats()
+	report.SpreadFound = st.SpreadFound
+	report.Enqueued = st.Enqueued
+	report.Dropped = st.Dropped
+	return report, nil
+}

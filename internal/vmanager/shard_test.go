@@ -140,7 +140,7 @@ func TestShardedBatchStitch(t *testing.T) {
 			Root:    segtree.NodeKey{Version: got[i].Ticket.Version, Offset: 0, Size: 1024},
 		})
 	}
-	pubs = append(pubs, pubs[0])                       // double complete
+	pubs = append(pubs, pubs[0])                              // double complete
 	pubs = append(pubs, PublishRequest{Blob: 99, Version: 1}) // unknown blob
 	gotErrs := sharded.CompleteBatch(pubs)
 	wantErrs := ref.CompleteBatch(pubs)
